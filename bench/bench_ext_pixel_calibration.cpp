@@ -1,0 +1,67 @@
+// Extension: per-pixel gain calibration for dense constellations.
+//
+// The paper's footnote 6 assumes the binary-weighted pixels are
+// "manufactured identical enough" that a module's response is exactly
+// area-proportional -- fine at 16-PQAM, but a realistic ~3% pixel gain
+// spread leaves only half an amplitude step of margin on a 256-PQAM grid
+// and shows up as an SNR-independent error floor. The extension appends
+// bits_per_axis single-pixel training rounds and solves per-pixel gains.
+//
+// Expected: without calibration, 256-PQAM floors at a few percent BER
+// regardless of SNR; with calibration the floor collapses and the
+// waterfall continues -- the "scalability" design goal (section 3.1) made
+// to hold under manufacturing spread.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+int main() {
+  rt::bench::print_header("Extension -- per-pixel calibration at 256-PQAM (16 kbps)",
+                          "extends footnote 6 / design goal 'scalability' (section 3.1)",
+                          "calibration removes the heterogeneity error floor");
+
+  auto base = rt::phy::PhyParams::rate_16kbps();
+  auto calibrated = base;
+  calibrated.pixel_calibration = true;
+
+  // Realistic 3% pixel gain spread -- NOT the reduced spread the
+  // footnote-6 reproduction benches assume.
+  auto tag = base.tag_config();
+  tag.heterogeneity = {0.03, 0.02, rt::deg_to_rad(1.0)};
+  tag.seed = 11;
+
+  const std::vector<double> snrs = {35.0, 40.0, 45.0, 50.0, 55.0};
+  std::printf("\n%-22s", "SNR (dB)");
+  for (const double s : snrs) std::printf("%12.0f", s);
+  std::printf("\n");
+
+  std::vector<double> floor_plain;
+  std::vector<double> floor_cal;
+  for (const bool cal : {false, true}) {
+    const auto& params = cal ? calibrated : base;
+    const auto offline = rt::sim::train_offline_model(params, tag);
+    std::printf("%-22s", cal ? "with calibration" : "without calibration");
+    for (const double snr : snrs) {
+      rt::sim::ChannelConfig ch;
+      ch.snr_override_db = snr;
+      ch.noise_seed = static_cast<std::uint64_t>(snr) * 3 + (cal ? 1 : 0);
+      const auto stats = rt::bench::run_point(params, tag, ch, offline, 7 + (cal ? 1 : 0));
+      (cal ? floor_cal : floor_plain).push_back(stats.ber());
+      std::printf("%12s", rt::bench::ber_str(stats).c_str());
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\ntraining overhead: +%d single-pixel rounds (+%.0f ms at this configuration)\n",
+              base.bits_per_axis,
+              base.bits_per_axis * base.symbol_duration_s() * 1e3 +
+                  std::max(1, base.training_memory) * base.symbol_duration_s() * 1e3);
+  const bool plain_floors = floor_plain.back() > 0.01;
+  const bool cal_clears = floor_cal.back() < 0.01 && floor_cal[3] < 0.01;
+  std::printf("shape check: uncalibrated floor persists at high SNR: %s; "
+              "calibrated link clears 1%%: %s\n",
+              plain_floors ? "yes" : "NO", cal_clears ? "yes" : "NO");
+  return (plain_floors && cal_clears) ? 0 : 1;
+}

@@ -1,0 +1,77 @@
+// Headline result: RetroTurbo's rate gain over the status-quo VLBC
+// baselines.
+//
+// Paper: 32x over the OOK baseline in experiments (8 Kbps vs 250 bps) and
+// 128x in emulation (32 Kbps), with PassiveVLC's ~1 Kbps as the published
+// state of the art. Every baseline here runs through the same real
+// simulator stack (OOK and PAM are degenerate DSM-PQAM configurations:
+// L=1, single polarization channel). Also reports the basic-vs-overlapped
+// DSM ablation (section 4.1.1 vs 4.1.2).
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+int main() {
+  rt::bench::print_header("Headline -- rate gain over OOK/PAM baselines",
+                          "abstract + sections 1, 7.4",
+                          "~32x experimental and ~128x emulated gain over OOK, all links reliable");
+
+  struct SchemeCase {
+    const char* name;
+    rt::phy::PhyParams params;
+    double snr_db;  // operated at a comfortable margin for its order
+  };
+  // OOK: 1 pixel, 1 bit per 4 ms period (trend-based, PassiveVLC-style).
+  rt::phy::PhyParams ook;
+  ook.dsm_order = 1;
+  ook.bits_per_axis = 1;
+  ook.slot_s = 4e-3;
+  ook.charge_s = 0.5e-3;
+  ook.use_q_channel = false;
+  ook.preamble_slots = 16;
+  // PAM-16: 1 module of 4 binary-weighted pixels, single channel.
+  rt::phy::PhyParams pam = ook;
+  pam.bits_per_axis = 4;
+
+  const std::vector<SchemeCase> cases = {
+      {"OOK (250 bps)", ook, 25.0},
+      {"PAM-16 (1 kbps)", pam, 35.0},
+      {"DSM-PQAM 8 kbps", rt::phy::PhyParams::rate_8kbps(), 40.0},
+      {"DSM-PQAM 32 kbps (emu)", rt::phy::PhyParams::rate_32kbps(), 60.0},
+  };
+
+  std::printf("\n%-26s %-12s %-12s %-10s\n", "scheme", "rate (bps)", "BER", "gain vs OOK");
+  std::vector<double> rates;
+  bool all_reliable = true;
+  for (const auto& sc : cases) {
+    const auto tag = rt::bench::realistic_tag(sc.params);
+    const auto offline = rt::sim::train_offline_model(sc.params, tag);
+    rt::sim::ChannelConfig ch;
+    ch.snr_override_db = sc.snr_db;
+    ch.noise_seed = static_cast<std::uint64_t>(sc.snr_db);
+    const auto stats = rt::bench::run_point(sc.params, tag, ch, offline);
+    const double rate = sc.params.data_rate_bps();
+    rates.push_back(rate);
+    all_reliable = all_reliable && stats.ber() < 0.01;
+    std::printf("%-26s %-12.0f %-12s %-10.1fx\n", sc.name, rate,
+                rt::bench::ber_str(stats).c_str(), rate / rates.front());
+    std::fflush(stdout);
+  }
+
+  // Basic vs overlapped DSM (section 4.1.1 vs 4.1.2): with L=8, P=16,
+  // tau_1 = 0.5 ms, tau_0 = 3.5 ms the basic symbol is L*tau_1 + tau_0.
+  const auto p8 = rt::phy::PhyParams::rate_8kbps();
+  const double basic_rate = p8.basic_dsm_rate_bps(3.5e-3);
+  std::printf("\nDSM ablation at L=8, 16-PQAM: basic %.0f bps vs overlapped %.0f bps "
+              "(%.1fx from overlapping alone)\n",
+              basic_rate, p8.data_rate_bps(), p8.data_rate_bps() / basic_rate);
+
+  const double exp_gain = rates[2] / rates[0];
+  const double emu_gain = rates[3] / rates[0];
+  std::printf("\npaper: 32x experimental, 128x emulated gain over the OOK baseline\n");
+  std::printf("measured: %.0fx experimental, %.0fx emulated\n", exp_gain, emu_gain);
+  const bool ok = all_reliable && exp_gain >= 31.0 && emu_gain >= 127.0;
+  std::printf("shape check: all links reliable and gains match: %s\n", ok ? "yes" : "NO");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,87 @@
+// Shared helpers for the experiment benches.
+//
+// Every bench regenerates one table or figure from the paper's evaluation
+// and prints the same rows/series the paper reports. Runtime knobs:
+//   RT_BENCH_PACKETS  packets per BER point (default 10; paper used 30)
+//   RT_BENCH_PAYLOAD  payload bytes per packet (default 32; paper used 128)
+// Raise both for full-fidelity runs.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "sim/link_sim.h"
+
+namespace rt::bench {
+
+[[nodiscard]] inline int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::atoi(v);
+}
+
+[[nodiscard]] inline int packets_per_point() { return env_int("RT_BENCH_PACKETS", 10); }
+[[nodiscard]] inline std::size_t payload_bytes() {
+  return static_cast<std::size_t>(env_int("RT_BENCH_PAYLOAD", 32));
+}
+
+inline void print_header(const char* experiment, const char* paper_ref,
+                         const char* expectation) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("paper: %s\n", paper_ref);
+  std::printf("expected shape: %s\n", expectation);
+  std::printf("packets/point=%d payload=%zuB\n", packets_per_point(), payload_bytes());
+  std::printf("================================================================\n");
+}
+
+/// Formats a BER as the paper plots it (percent, or "<floor" when no error
+/// was observed in the sample budget).
+[[nodiscard]] inline std::string ber_str(const sim::LinkStats& stats) {
+  char buf[64];
+  if (stats.bit_errors == 0) {
+    std::snprintf(buf, sizeof(buf), "<%.4f%%", 100.0 / static_cast<double>(stats.total_bits));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.4f%%", 100.0 * stats.ber());
+  }
+  return buf;
+}
+
+/// Runs one BER point with a shared offline model (the offline step does
+/// not depend on distance/SNR).
+[[nodiscard]] inline sim::LinkStats run_point(const phy::PhyParams& params,
+                                              const lcm::TagConfig& tag,
+                                              const sim::ChannelConfig& channel,
+                                              const phy::OfflineModel& offline,
+                                              std::uint64_t seed = 1) {
+  sim::SimOptions so;
+  so.shared_offline_model = offline;
+  so.seed = seed;
+  sim::LinkSimulator simulator(params, tag, channel, so);
+  return simulator.run(packets_per_point(), payload_bytes());
+}
+
+/// Default tag hardware realism used by the experiment benches. The
+/// pixel-gain spread scales inversely with the constellation density:
+/// 256-PQAM leaves only 1/15 of the swing between amplitude levels, so it
+/// presumes the paper's footnote-6 assumption that the binary-weighted
+/// pixels are "manufactured identical enough" -- 3% gain spread is fine
+/// for 16-PQAM but would swamp the 256-PQAM grid (see
+/// bench_ext_pixel_calibration for the extension that lifts this).
+/// Configurations with T < tau_1 (the 32 Kbps emulation point) follow the
+/// paper's trace-driven methodology -- recorded waveforms of the actual
+/// hardware -- which our simulator matches with zero model spread.
+[[nodiscard]] inline lcm::TagConfig realistic_tag(const phy::PhyParams& params,
+                                                  std::uint64_t seed = 11) {
+  auto tag = params.tag_config();
+  double gain = 0.03 * std::min(1.0, 3.0 / static_cast<double>(params.levels_per_axis() - 1));
+  if (params.slot_s < params.charge_s) gain = 0.0;  // trace-emulation regime
+  tag.heterogeneity = {gain, gain * 0.7, rt::deg_to_rad(gain * 33.0)};
+  tag.seed = seed;
+  return tag;
+}
+
+}  // namespace rt::bench

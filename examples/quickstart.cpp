@@ -1,0 +1,44 @@
+// Quickstart: send a message over a simulated RetroTurbo VLBC uplink.
+//
+// Demonstrates the adopter-facing facade: configure a deployment, send
+// bytes, inspect delivery and link statistics. Uses the paper's default
+// 8 Kbps operating point (L=8 DSM, 16-PQAM, T=0.5 ms) at 5 m.
+#include <cstdio>
+#include <string>
+
+#include "core/retroturbo.h"
+
+int main() {
+  retroturbo::LinkConfig cfg;
+  cfg.rate = retroturbo::RatePreset::k8kbps;
+  cfg.distance_m = 5.0;
+  cfg.roll_deg = 30.0;   // tag rotated about the optical axis: PQAM absorbs it
+  cfg.yaw_deg = 10.0;    // tag not facing the reader squarely
+  cfg.ambient_lux = 200; // office at night
+  cfg.rs_n = 255;        // light Reed-Solomon outer code
+  cfg.rs_k = 223;
+
+  std::printf("RetroTurbo %s quickstart\n", retroturbo::version().c_str());
+  std::printf("building link (one-time offline channel training)...\n");
+  retroturbo::Link link(cfg);
+  std::printf("link ready: %.0f bps at %.1f m, SNR %.1f dB\n\n", link.data_rate_bps(),
+              cfg.distance_m, link.snr_db());
+
+  const std::string message =
+      "Hello from a sub-milliwatt liquid-crystal backscatter tag!";
+  const std::vector<std::uint8_t> payload(message.begin(), message.end());
+
+  const auto result = link.send_bytes(payload);
+  if (!result.delivered) {
+    std::printf("delivery FAILED after %d attempts\n", result.attempts);
+    return 1;
+  }
+  std::printf("delivered in %d attempt(s): \"%s\"\n", result.attempts,
+              std::string(result.received.begin(), result.received.end()).c_str());
+
+  std::printf("\nmeasuring raw-PHY BER (paper methodology, abbreviated)...\n");
+  const auto stats = link.measure_ber(/*packets=*/5, /*payload_bytes=*/64);
+  std::printf("packets %d, preamble failures %d, BER %.4f%%\n", stats.packets,
+              stats.preamble_failures, 100.0 * stats.ber());
+  return 0;
+}

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Regenerates test_output.txt and bench_output.txt (the full verification
+# record referenced by EXPERIMENTS.md).
+set -u
+cd "$(dirname "$0")"
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/bench_*; do
+  [ -x "$b" ] && [ -f "$b" ] && "$b"
+done 2>&1 | tee bench_output.txt

@@ -1,0 +1,39 @@
+#include "analysis/emulation_error.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rt::analysis {
+
+EmulationErrorResult emulation_error(const LcmTable& table, const LcmTable& reference,
+                                     double sample_rate_hz,
+                                     const EmulationErrorOptions& options) {
+  RT_ENSURE(table.slot_samples() == reference.slot_samples(),
+            "tables must share the characterization grid");
+  EmulationErrorResult out;
+  out.v = table.order();
+  Rng rng(options.seed);
+  double sum = 0.0;
+  for (int s = 0; s < options.sequences; ++s) {
+    const auto bits = rng.bits(options.sequence_slots);
+    CodeMatrix cm;
+    cm.drive = linalg::RealMatrix(1, bits.size());
+    cm.gains = {Complex(1.0, 0.0)};
+    for (std::size_t j = 0; j < bits.size(); ++j) cm.drive(0, j) = bits[j] ? 1.0 : 0.0;
+    const auto wa = emulate(table, cm, sample_rate_hz);
+    const auto wb = emulate(reference, cm, sample_rate_hz);
+    double err = 0.0;
+    double ref = 0.0;
+    for (std::size_t i = 0; i < wa.size(); ++i) {
+      err += std::norm(wa[i] - wb[i]);
+      ref += std::norm(wb[i]);
+    }
+    const double rel = ref > 0.0 ? std::sqrt(err / ref) : 0.0;
+    out.max_rel_error = std::max(out.max_rel_error, rel);
+    sum += rel;
+  }
+  out.avg_rel_error = sum / static_cast<double>(options.sequences);
+  return out;
+}
+
+}  // namespace rt::analysis

@@ -1,0 +1,31 @@
+// Emulation error-bound study (paper Tab. 2).
+//
+// Quantifies how well the order-V finite-memory table reproduces the LCM
+// response by comparing emulated waveforms of random drive sequences
+// against a high-order reference table (the paper uses V = 17).
+#pragma once
+
+#include "analysis/emulator.h"
+#include "common/rng.h"
+
+namespace rt::analysis {
+
+struct EmulationErrorResult {
+  int v = 0;
+  double max_rel_error = 0.0;  ///< worst relative RMS error over sequences
+  double avg_rel_error = 0.0;  ///< mean relative RMS error
+};
+
+struct EmulationErrorOptions {
+  int sequences = 32;          ///< random drive sequences tested
+  std::size_t sequence_slots = 64;
+  std::uint64_t seed = 7;
+};
+
+/// Relative RMS error of `table` versus `reference` over random drives.
+[[nodiscard]] EmulationErrorResult emulation_error(const LcmTable& table,
+                                                   const LcmTable& reference,
+                                                   double sample_rate_hz,
+                                                   const EmulationErrorOptions& options = {});
+
+}  // namespace rt::analysis

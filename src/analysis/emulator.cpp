@@ -1,0 +1,82 @@
+#include "analysis/emulator.h"
+
+#include "signal/mls.h"
+
+namespace rt::analysis {
+
+LcmTable characterize_lcm(const lcm::LcTimings& timings, double slot_s, double sample_rate_hz,
+                          int v) {
+  RT_ENSURE(slot_s > 0.0 && sample_rate_hz > 0.0, "slot and sample rate must be positive");
+  const auto slot_samps = static_cast<std::size_t>(std::llround(slot_s * sample_rate_hz));
+  RT_ENSURE(slot_samps >= 1, "need at least one sample per slot");
+  LcmTable table(v, slot_samps);
+
+  const auto drive_and_fill = [&](std::span<const std::uint8_t> bits, bool record_all_zero) {
+    // Two passes over the sequence: the first warms the cell state so
+    // wrap-around windows are physically consistent.
+    lcm::LcCell cell(timings);
+    const std::size_t period = bits.size();
+    const double dt = 1.0 / sample_rate_hz;
+    std::vector<std::uint8_t> recorded(table.order() > 0 ? (std::size_t{1} << table.order()) : 1,
+                                       0);
+    for (int pass = 0; pass < 2; ++pass) {
+      for (std::size_t j = 0; j < period; ++j) {
+        const bool driven = bits[j] != 0;
+        std::vector<double> seg(slot_samps);
+        for (std::size_t k = 0; k < slot_samps; ++k) seg[k] = 2.0 * cell.step(driven, dt) - 1.0;
+        if (pass == 0) continue;
+        // Window key over the last V bits (bit 0 = current).
+        std::uint32_t key = 0;
+        bool valid = true;
+        for (int b = 0; b < table.order(); ++b) {
+          const std::ptrdiff_t idx = static_cast<std::ptrdiff_t>(j) - b;
+          const std::uint8_t bit =
+              bits[static_cast<std::size_t>((idx % static_cast<std::ptrdiff_t>(period) +
+                                             static_cast<std::ptrdiff_t>(period)) %
+                                            static_cast<std::ptrdiff_t>(period))];
+          key |= static_cast<std::uint32_t>(bit) << b;
+          (void)valid;
+        }
+        if (record_all_zero != (key == 0)) continue;
+        if (!recorded[key]) {
+          table.set_response(key, std::move(seg));
+          recorded[key] = 1;
+        }
+      }
+    }
+  };
+
+  // Main pass: order-V MLS covers every non-zero window exactly once.
+  const auto seq = sig::mls(static_cast<unsigned>(v));
+  drive_and_fill(seq, false);
+
+  // All-zero window: pad with a long undriven run (footnote 5). Drive once
+  // then idle long enough that the steady relaxed response is reached.
+  std::vector<std::uint8_t> zero_run(static_cast<std::size_t>(v) + 32, 0);
+  drive_and_fill(zero_run, true);
+
+  return table;
+}
+
+sig::IqWaveform emulate(const LcmTable& table, const CodeMatrix& code, double sample_rate_hz) {
+  code.validate();
+  const std::size_t slot_samps = table.slot_samples();
+  const std::size_t n = code.slots() * slot_samps;
+  sig::IqWaveform out(sample_rate_hz, n);
+  for (std::size_t i = 0; i < code.pixels(); ++i) {
+    const Complex g = code.gains[i];
+    for (std::size_t j = 0; j < code.slots(); ++j) {
+      std::uint32_t key = 0;
+      for (int b = 0; b < table.order(); ++b) {
+        if (static_cast<std::ptrdiff_t>(j) - b < 0) break;  // pre-start slots undriven
+        if (code.drive(i, j - static_cast<std::size_t>(b)) != 0.0)
+          key |= 1U << b;
+      }
+      const auto seg = table.response(key);
+      for (std::size_t k = 0; k < slot_samps; ++k) out[j * slot_samps + k] += g * seg[k];
+    }
+  }
+  return out;
+}
+
+}  // namespace rt::analysis

@@ -1,0 +1,88 @@
+// Finite-memory LCM emulation (paper section 5.2).
+//
+// The LCM's pulse response is infinite and nonlinear, but it can be
+// approximated by a table indexed by the last V drive bits: R_[b1..bV](t)
+// gives the response during the current slot given that history. The table
+// is collected by driving the physical-model cell with a V-th order
+// maximum-length sequence (every non-zero V-window appears exactly once),
+// padded with an all-zero run for the missing all-zero window (footnote 5).
+//
+// Emulated waveforms back the modulation-scheme analysis (minimum distance,
+// Fig. 13 / Tab. 3) and the trace-driven emulation of section 7.3; Tab. 2
+// quantifies the emulation error versus the table order V.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/error.h"
+#include "lcm/lc_cell.h"
+#include "linalg/matrix.h"
+#include "signal/waveform.h"
+
+namespace rt::analysis {
+
+using Complex = std::complex<double>;
+
+/// History-indexed slot-response table for one unit pixel. Window key:
+/// bit 0 = current slot's drive bit, bit k = drive k slots ago.
+class LcmTable {
+ public:
+  LcmTable(int v, std::size_t slot_samps)
+      : v_(v), slot_samps_(slot_samps),
+        table_(std::size_t{1} << v, std::vector<double>(slot_samps, 0.0)) {
+    RT_ENSURE(v >= 1 && v <= 20, "table order must be in [1, 20]");
+    RT_ENSURE(slot_samps >= 1, "need at least one sample per slot");
+  }
+
+  [[nodiscard]] int order() const { return v_; }
+  [[nodiscard]] std::size_t slot_samples() const { return slot_samps_; }
+
+  [[nodiscard]] std::span<const double> response(std::uint32_t window) const {
+    RT_ENSURE(window < table_.size(), "window key out of range");
+    return table_[window];
+  }
+
+  void set_response(std::uint32_t window, std::vector<double> r) {
+    RT_ENSURE(window < table_.size() && r.size() == slot_samps_, "bad response entry");
+    table_[window] = std::move(r);
+  }
+
+ private:
+  int v_;
+  std::size_t slot_samps_;
+  std::vector<std::vector<double>> table_;
+};
+
+/// Collects the order-V table by driving the LC physical model with an
+/// MLS-derived bit stream at slot duration `slot_s`.
+[[nodiscard]] LcmTable characterize_lcm(const lcm::LcTimings& timings, double slot_s,
+                                        double sample_rate_hz, int v);
+
+/// A modulation scheme instance as the paper's code-matrix abstraction: a
+/// binary N x M drive matrix (N pixels, M time slots) plus per-pixel
+/// complex gains G_i (area x polarization axis).
+struct CodeMatrix {
+  linalg::RealMatrix drive;       ///< entries 0/1
+  std::vector<Complex> gains;     ///< size N
+
+  [[nodiscard]] std::size_t pixels() const { return drive.rows(); }
+  [[nodiscard]] std::size_t slots() const { return drive.cols(); }
+
+  void validate() const {
+    RT_ENSURE(gains.size() == drive.rows(), "one gain per pixel required");
+    for (std::size_t i = 0; i < drive.rows(); ++i)
+      for (std::size_t j = 0; j < drive.cols(); ++j)
+        RT_ENSURE(drive(i, j) == 0.0 || drive(i, j) == 1.0, "drive matrix must be binary");
+  }
+};
+
+/// F(A): emulates the superimposed waveform of all pixels,
+/// sum_i G_i R_[window_i(j)](t - j dt), via table lookups. Slots before
+/// t=0 are treated as undriven.
+[[nodiscard]] sig::IqWaveform emulate(const LcmTable& table, const CodeMatrix& code,
+                                      double sample_rate_hz);
+
+}  // namespace rt::analysis

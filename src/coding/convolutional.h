@@ -1,0 +1,104 @@
+// Rate-1/2 convolutional code with hard-decision Viterbi decoding.
+//
+// An alternative inner FEC for the rate-adaptation table: where
+// Reed-Solomon handles symbol bursts, a convolutional code trades better
+// random-error performance at low SNR. Generator polynomials are given in
+// octal (default: the ubiquitous K=7 (133, 171) pair).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/error.h"
+
+namespace rt::coding {
+
+class ConvolutionalCode {
+ public:
+  explicit ConvolutionalCode(int constraint_length = 7, std::uint32_t g1_octal = 0133,
+                             std::uint32_t g2_octal = 0171)
+      : k_(constraint_length), g1_(g1_octal), g2_(g2_octal) {
+    RT_ENSURE(k_ >= 3 && k_ <= 10, "constraint length must be in [3, 10]");
+    const std::uint32_t mask = (1U << k_) - 1U;
+    RT_ENSURE((g1_ & ~mask) == 0 && (g2_ & ~mask) == 0, "generator exceeds constraint length");
+    RT_ENSURE(g1_ & 1U && g2_ & 1U, "generators must tap the newest bit");
+  }
+
+  [[nodiscard]] int constraint_length() const { return k_; }
+  [[nodiscard]] double code_rate() const { return 0.5; }
+
+  /// Encodes `bits` and appends (K-1) flush zeros; output length is
+  /// 2 * (bits.size() + K - 1).
+  [[nodiscard]] std::vector<std::uint8_t> encode(std::span<const std::uint8_t> bits) const {
+    std::vector<std::uint8_t> out;
+    out.reserve(2 * (bits.size() + static_cast<std::size_t>(k_) - 1));
+    std::uint32_t state = 0;
+    const auto push = [&](std::uint8_t bit) {
+      state = ((state << 1) | bit) & ((1U << k_) - 1U);
+      out.push_back(parity(state & g1_));
+      out.push_back(parity(state & g2_));
+    };
+    for (const auto b : bits) push(b & 1U);
+    for (int i = 0; i < k_ - 1; ++i) push(0);
+    return out;
+  }
+
+  /// Hard-decision Viterbi decode; expects encode() framing (flushed
+  /// trellis). Returns the message bits.
+  [[nodiscard]] std::vector<std::uint8_t> decode(std::span<const std::uint8_t> coded) const {
+    RT_ENSURE(coded.size() % 2 == 0, "coded stream must be pairs of bits");
+    const std::size_t steps = coded.size() / 2;
+    RT_ENSURE(steps >= static_cast<std::size_t>(k_ - 1), "stream shorter than the flush");
+    const std::uint32_t n_states = 1U << (k_ - 1);
+    constexpr int kInf = 1 << 28;
+    std::vector<int> metric(n_states, kInf);
+    metric[0] = 0;
+    // survivors[t][state] = predecessor state and input bit packed.
+    std::vector<std::vector<std::uint32_t>> survivors(
+        steps, std::vector<std::uint32_t>(n_states, 0));
+
+    for (std::size_t t = 0; t < steps; ++t) {
+      std::vector<int> next(n_states, kInf);
+      const std::uint8_t r1 = coded[2 * t] & 1U;
+      const std::uint8_t r2 = coded[2 * t + 1] & 1U;
+      for (std::uint32_t s = 0; s < n_states; ++s) {
+        if (metric[s] >= kInf) continue;
+        for (std::uint32_t bit = 0; bit <= 1; ++bit) {
+          const std::uint32_t full = ((s << 1) | bit) & ((1U << k_) - 1U);
+          const std::uint32_t ns = full & (n_states - 1U);
+          const std::uint8_t c1 = parity(full & g1_);
+          const std::uint8_t c2 = parity(full & g2_);
+          const int cost = metric[s] + (c1 != r1) + (c2 != r2);
+          if (cost < next[ns]) {
+            next[ns] = cost;
+            survivors[t][ns] = (s << 1) | bit;
+          }
+        }
+      }
+      metric = std::move(next);
+    }
+
+    // Traceback from the flushed all-zero state.
+    std::vector<std::uint8_t> bits(steps);
+    std::uint32_t state = 0;
+    for (std::size_t t = steps; t-- > 0;) {
+      const std::uint32_t packed = survivors[t][state];
+      bits[t] = static_cast<std::uint8_t>(packed & 1U);
+      state = packed >> 1;
+    }
+    bits.resize(steps - static_cast<std::size_t>(k_ - 1));  // drop the flush
+    return bits;
+  }
+
+ private:
+  [[nodiscard]] static std::uint8_t parity(std::uint32_t v) {
+    return static_cast<std::uint8_t>(__builtin_popcount(v) & 1);
+  }
+
+  int k_;
+  std::uint32_t g1_;
+  std::uint32_t g2_;
+};
+
+}  // namespace rt::coding

@@ -1,0 +1,39 @@
+#include "coding/crc.h"
+
+#include <array>
+
+namespace rt::coding {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1U) ? (0xEDB88320U ^ (c >> 1)) : (c >> 1);
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint16_t crc16_ccitt(std::span<const std::uint8_t> data) {
+  std::uint16_t crc = 0xFFFF;
+  for (const auto b : data) {
+    crc ^= static_cast<std::uint16_t>(b << 8);
+    for (int k = 0; k < 8; ++k)
+      crc = (crc & 0x8000U) ? static_cast<std::uint16_t>((crc << 1) ^ 0x1021U)
+                            : static_cast<std::uint16_t>(crc << 1);
+  }
+  return crc;
+}
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  static const auto table = make_crc32_table();
+  std::uint32_t c = 0xFFFFFFFFU;
+  for (const auto b : data) c = table[(c ^ b) & 0xFFU] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFU;
+}
+
+}  // namespace rt::coding

@@ -1,0 +1,18 @@
+// CRC-16/CCITT-FALSE and CRC-32 (IEEE 802.3).
+//
+// The MAC layer CRC-checks every payload and triggers retransmission on
+// failure (paper section 4.4).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace rt::coding {
+
+/// CRC-16/CCITT-FALSE: poly 0x1021, init 0xFFFF, no reflection, no xorout.
+[[nodiscard]] std::uint16_t crc16_ccitt(std::span<const std::uint8_t> data);
+
+/// CRC-32 (IEEE): poly 0xEDB88320 reflected, init/xorout 0xFFFFFFFF.
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+}  // namespace rt::coding

@@ -1,0 +1,70 @@
+// GF(2^8) arithmetic with the AES/CCSDS-standard primitive polynomial
+// x^8 + x^4 + x^3 + x^2 + 1 (0x11D), table-driven.
+//
+// Substrate for the Reed-Solomon codec used in the coding-gain emulation
+// (paper Fig. 18b) and the rate-adaptive MAC.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/error.h"
+
+namespace rt::coding {
+
+class Gf256 {
+ public:
+  /// Singleton tables (construction fills exp/log tables once).
+  [[nodiscard]] static const Gf256& instance() {
+    static const Gf256 gf;
+    return gf;
+  }
+
+  [[nodiscard]] std::uint8_t add(std::uint8_t a, std::uint8_t b) const {
+    return static_cast<std::uint8_t>(a ^ b);
+  }
+
+  [[nodiscard]] std::uint8_t mul(std::uint8_t a, std::uint8_t b) const {
+    if (a == 0 || b == 0) return 0;
+    return exp_[(log_[a] + log_[b]) % 255];
+  }
+
+  [[nodiscard]] std::uint8_t div(std::uint8_t a, std::uint8_t b) const {
+    RT_ENSURE(b != 0, "GF(256) division by zero");
+    if (a == 0) return 0;
+    return exp_[(log_[a] + 255 - log_[b]) % 255];
+  }
+
+  [[nodiscard]] std::uint8_t inv(std::uint8_t a) const {
+    RT_ENSURE(a != 0, "GF(256) inverse of zero");
+    return exp_[(255 - log_[a]) % 255];
+  }
+
+  /// alpha^power, where alpha = 0x02 is the primitive element.
+  [[nodiscard]] std::uint8_t pow_alpha(int power) const {
+    int p = power % 255;
+    if (p < 0) p += 255;
+    return exp_[p];
+  }
+
+  [[nodiscard]] int log(std::uint8_t a) const {
+    RT_ENSURE(a != 0, "GF(256) log of zero");
+    return log_[a];
+  }
+
+ private:
+  Gf256() {
+    std::uint16_t x = 1;
+    for (int i = 0; i < 255; ++i) {
+      exp_[i] = static_cast<std::uint8_t>(x);
+      log_[exp_[i]] = i;
+      x <<= 1;
+      if (x & 0x100) x ^= 0x11D;
+    }
+  }
+
+  std::array<std::uint8_t, 255> exp_{};
+  std::array<int, 256> log_{};
+};
+
+}  // namespace rt::coding

@@ -1,0 +1,183 @@
+#include "coding/reed_solomon.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace rt::coding {
+
+namespace {
+
+const Gf256& gf() { return Gf256::instance(); }
+
+/// Evaluates polynomial (coefficients low-degree-first) at x.
+std::uint8_t poly_eval(std::span<const std::uint8_t> poly, std::uint8_t x) {
+  std::uint8_t y = 0;
+  // Horner, high-degree first.
+  for (std::size_t i = poly.size(); i-- > 0;) y = static_cast<std::uint8_t>(gf().mul(y, x) ^ poly[i]);
+  return y;
+}
+
+}  // namespace
+
+ReedSolomon::ReedSolomon(std::size_t n, std::size_t k) : n_(n), k_(k) {
+  RT_ENSURE(n >= 3 && n <= 255, "RS n must be in [3, 255]");
+  RT_ENSURE(k >= 1 && k < n, "RS k must be in [1, n)");
+  // Generator g(x) = prod_{i=0}^{n-k-1} (x - alpha^i); low-degree-first.
+  generator_ = {1};
+  for (std::size_t i = 0; i < n_ - k_; ++i) {
+    const std::uint8_t root = gf().pow_alpha(static_cast<int>(i));
+    std::vector<std::uint8_t> next(generator_.size() + 1, 0);
+    for (std::size_t j = 0; j < generator_.size(); ++j) {
+      next[j + 1] ^= generator_[j];                  // x * g
+      next[j] ^= gf().mul(generator_[j], root);      // root * g
+    }
+    generator_ = std::move(next);
+  }
+}
+
+std::vector<std::uint8_t> ReedSolomon::encode_block(std::span<const std::uint8_t> data) const {
+  RT_ENSURE(data.size() == k_, "encode_block expects exactly k data bytes");
+  const std::size_t parity = n_ - k_;
+  // Systematic encoding: remainder of data(x) * x^(n-k) mod g(x).
+  std::vector<std::uint8_t> rem(parity, 0);
+  for (std::size_t i = 0; i < k_; ++i) {
+    const std::uint8_t feedback = static_cast<std::uint8_t>(data[i] ^ rem[parity - 1]);
+    for (std::size_t j = parity; j-- > 1;)
+      rem[j] = static_cast<std::uint8_t>(rem[j - 1] ^ gf().mul(feedback, generator_[j]));
+    rem[0] = gf().mul(feedback, generator_[0]);
+  }
+  std::vector<std::uint8_t> out(data.begin(), data.end());
+  // Parity appended high-degree-first to keep the codeword poly consistent.
+  for (std::size_t j = parity; j-- > 0;) out.push_back(rem[j]);
+  return out;
+}
+
+std::optional<std::vector<std::uint8_t>> ReedSolomon::decode_block(
+    std::span<const std::uint8_t> codeword) const {
+  RT_ENSURE(codeword.size() == n_, "decode_block expects exactly n bytes");
+  const std::size_t parity = n_ - k_;
+
+  // Codeword polynomial: received[0] is the highest-degree coefficient.
+  // Syndromes S_i = r(alpha^i), i = 0..parity-1.
+  std::vector<std::uint8_t> synd(parity, 0);
+  bool all_zero = true;
+  for (std::size_t i = 0; i < parity; ++i) {
+    const std::uint8_t x = gf().pow_alpha(static_cast<int>(i));
+    std::uint8_t y = 0;
+    for (std::size_t j = 0; j < n_; ++j) y = static_cast<std::uint8_t>(gf().mul(y, x) ^ codeword[j]);
+    synd[i] = y;
+    all_zero = all_zero && (y == 0);
+  }
+  if (all_zero) return std::vector<std::uint8_t>(codeword.begin(), codeword.begin() + k_);
+
+  // Berlekamp-Massey: find error locator sigma(x), low-degree-first.
+  std::vector<std::uint8_t> sigma = {1};
+  std::vector<std::uint8_t> prev = {1};
+  std::uint8_t b = 1;
+  std::size_t l = 0;
+  std::size_t m = 1;
+  for (std::size_t step = 0; step < parity; ++step) {
+    std::uint8_t delta = synd[step];
+    for (std::size_t i = 1; i <= l && i < sigma.size(); ++i)
+      delta = static_cast<std::uint8_t>(delta ^ gf().mul(sigma[i], synd[step - i]));
+    if (delta == 0) {
+      ++m;
+    } else if (2 * l <= step) {
+      const auto tmp = sigma;
+      const std::uint8_t scale = gf().div(delta, b);
+      if (sigma.size() < prev.size() + m) sigma.resize(prev.size() + m, 0);
+      for (std::size_t i = 0; i < prev.size(); ++i)
+        sigma[i + m] = static_cast<std::uint8_t>(sigma[i + m] ^ gf().mul(scale, prev[i]));
+      l = step + 1 - l;
+      prev = tmp;
+      b = delta;
+      m = 1;
+    } else {
+      const std::uint8_t scale = gf().div(delta, b);
+      if (sigma.size() < prev.size() + m) sigma.resize(prev.size() + m, 0);
+      for (std::size_t i = 0; i < prev.size(); ++i)
+        sigma[i + m] = static_cast<std::uint8_t>(sigma[i + m] ^ gf().mul(scale, prev[i]));
+      ++m;
+    }
+  }
+  while (!sigma.empty() && sigma.back() == 0) sigma.pop_back();
+  const std::size_t num_errors = sigma.size() - 1;
+  if (num_errors > correctable_errors()) return std::nullopt;
+
+  // Chien search: roots of sigma give error positions. With codeword[j] the
+  // coefficient of x^(n-1-j), position j errs iff sigma(alpha^-(n-1-j)) = 0.
+  std::vector<std::size_t> error_pos;
+  for (std::size_t j = 0; j < n_; ++j) {
+    const int power = -static_cast<int>(n_ - 1 - j);
+    if (poly_eval(sigma, gf().pow_alpha(power)) == 0) error_pos.push_back(j);
+  }
+  if (error_pos.size() != num_errors) return std::nullopt;
+
+  // Forney: error evaluator omega(x) = [S(x) sigma(x)] mod x^parity.
+  std::vector<std::uint8_t> omega(parity, 0);
+  for (std::size_t i = 0; i < parity; ++i) {
+    for (std::size_t j = 0; j < sigma.size() && j <= i; ++j)
+      omega[i] = static_cast<std::uint8_t>(omega[i] ^ gf().mul(synd[i - j], sigma[j]));
+  }
+  // Formal derivative of sigma.
+  std::vector<std::uint8_t> sigma_deriv;
+  for (std::size_t i = 1; i < sigma.size(); i += 2) {
+    sigma_deriv.resize(i, 0);
+    sigma_deriv[i - 1] = sigma[i];
+  }
+  // Correct: e_j = omega(Xj^-1) / sigma'(Xj^-1) * Xj^(1-b0), with b0 = 0
+  // (first consecutive root alpha^0) => e_j = Xj * omega(Xj^-1)/sigma'(Xj^-1).
+  std::vector<std::uint8_t> corrected(codeword.begin(), codeword.end());
+  for (const auto j : error_pos) {
+    const int loc_power = static_cast<int>(n_ - 1 - j);
+    const std::uint8_t x_inv = gf().pow_alpha(-loc_power);
+    const std::uint8_t num = poly_eval(omega, x_inv);
+    const std::uint8_t den = poly_eval(sigma_deriv, x_inv);
+    if (den == 0) return std::nullopt;
+    const std::uint8_t magnitude = gf().mul(gf().pow_alpha(loc_power), gf().div(num, den));
+    corrected[j] = static_cast<std::uint8_t>(corrected[j] ^ magnitude);
+  }
+
+  // Verify by re-computing syndromes.
+  for (std::size_t i = 0; i < parity; ++i) {
+    const std::uint8_t x = gf().pow_alpha(static_cast<int>(i));
+    std::uint8_t y = 0;
+    for (std::size_t j = 0; j < n_; ++j)
+      y = static_cast<std::uint8_t>(gf().mul(y, x) ^ corrected[j]);
+    if (y != 0) return std::nullopt;
+  }
+  return std::vector<std::uint8_t>(corrected.begin(), corrected.begin() + k_);
+}
+
+std::vector<std::uint8_t> ReedSolomon::encode(std::span<const std::uint8_t> data) const {
+  std::vector<std::uint8_t> out;
+  const std::size_t blocks = (data.size() + k_ - 1) / k_;
+  out.reserve(blocks * n_);
+  for (std::size_t bi = 0; bi < blocks; ++bi) {
+    std::vector<std::uint8_t> block(k_, 0);
+    const std::size_t start = bi * k_;
+    const std::size_t len = std::min(k_, data.size() - start);
+    std::copy_n(data.begin() + static_cast<std::ptrdiff_t>(start), len, block.begin());
+    const auto cw = encode_block(block);
+    out.insert(out.end(), cw.begin(), cw.end());
+  }
+  return out;
+}
+
+std::optional<std::vector<std::uint8_t>> ReedSolomon::decode(std::span<const std::uint8_t> coded,
+                                                             std::size_t message_len) const {
+  RT_ENSURE(coded.size() % n_ == 0, "coded length must be a multiple of n");
+  std::vector<std::uint8_t> out;
+  out.reserve(message_len);
+  for (std::size_t start = 0; start < coded.size(); start += n_) {
+    const auto block = decode_block(coded.subspan(start, n_));
+    if (!block) return std::nullopt;
+    out.insert(out.end(), block->begin(), block->end());
+  }
+  RT_ENSURE(out.size() >= message_len, "decoded data shorter than message_len");
+  out.resize(message_len);
+  return out;
+}
+
+}  // namespace rt::coding

@@ -1,0 +1,57 @@
+// Systematic Reed-Solomon codec RS(n, k) over GF(256).
+//
+// The paper's coding-gain study (Fig. 18b) runs a stop-and-wait link with
+// Reed-Solomon error correction at several coding rates; the rate-adaptive
+// MAC picks (bit rate, coding rate) pairs from the SNR. This is a complete
+// encoder plus Berlekamp-Massey / Chien / Forney hard-decision decoder.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "coding/gf256.h"
+
+namespace rt::coding {
+
+class ReedSolomon {
+ public:
+  /// n = total symbols per codeword (<= 255), k = data symbols; corrects up
+  /// to (n - k) / 2 symbol errors.
+  ReedSolomon(std::size_t n, std::size_t k);
+
+  [[nodiscard]] std::size_t n() const { return n_; }
+  [[nodiscard]] std::size_t k() const { return k_; }
+  [[nodiscard]] std::size_t parity_symbols() const { return n_ - k_; }
+  [[nodiscard]] std::size_t correctable_errors() const { return (n_ - k_) / 2; }
+  [[nodiscard]] double code_rate() const {
+    return static_cast<double>(k_) / static_cast<double>(n_);
+  }
+
+  /// Encodes exactly k data bytes into an n-byte systematic codeword
+  /// (data first, parity appended).
+  [[nodiscard]] std::vector<std::uint8_t> encode_block(std::span<const std::uint8_t> data) const;
+
+  /// Decodes an n-byte (possibly corrupted) codeword. Returns the k data
+  /// bytes, or nullopt if more than t errors were detected (decode failure).
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> decode_block(
+      std::span<const std::uint8_t> codeword) const;
+
+  /// Encodes an arbitrary-length message by splitting into k-byte blocks
+  /// (zero-padding the last block; original length must be conveyed by the
+  /// caller, e.g. in a frame header).
+  [[nodiscard]] std::vector<std::uint8_t> encode(std::span<const std::uint8_t> data) const;
+
+  /// Inverse of encode(); `message_len` trims the final padding. Returns
+  /// nullopt if any block fails to decode.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> decode(
+      std::span<const std::uint8_t> coded, std::size_t message_len) const;
+
+ private:
+  std::size_t n_;
+  std::size_t k_;
+  std::vector<std::uint8_t> generator_;  // generator polynomial, degree n-k
+};
+
+}  // namespace rt::coding

@@ -1,0 +1,46 @@
+// Bit/byte packing helpers.
+//
+// PHY and MAC layers move data as bit vectors (std::vector<uint8_t> holding
+// one bit per element, MSB-first within each source byte); the host side
+// works in bytes. These converters are the single point of truth for that
+// packing order.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/error.h"
+
+namespace rt {
+
+/// Expands bytes to bits, MSB first.
+[[nodiscard]] inline std::vector<std::uint8_t> bytes_to_bits(std::span<const std::uint8_t> bytes) {
+  std::vector<std::uint8_t> bits;
+  bits.reserve(bytes.size() * 8);
+  for (const auto b : bytes)
+    for (int i = 7; i >= 0; --i) bits.push_back(static_cast<std::uint8_t>((b >> i) & 1U));
+  return bits;
+}
+
+/// Packs bits (MSB first) back into bytes. Size must be a multiple of 8.
+[[nodiscard]] inline std::vector<std::uint8_t> bits_to_bytes(std::span<const std::uint8_t> bits) {
+  RT_ENSURE(bits.size() % 8 == 0, "bit count must be a multiple of 8");
+  std::vector<std::uint8_t> bytes(bits.size() / 8, 0);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    RT_ENSURE(bits[i] <= 1, "bit values must be 0 or 1");
+    bytes[i / 8] = static_cast<std::uint8_t>((bytes[i / 8] << 1) | bits[i]);
+  }
+  return bytes;
+}
+
+/// Number of positions where the two bit vectors differ (for BER accounting).
+[[nodiscard]] inline std::size_t hamming_distance(std::span<const std::uint8_t> a,
+                                                  std::span<const std::uint8_t> b) {
+  RT_ENSURE(a.size() == b.size(), "hamming_distance requires equal lengths");
+  std::size_t d = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) d += (a[i] != b[i]) ? 1 : 0;
+  return d;
+}
+
+}  // namespace rt

@@ -1,0 +1,47 @@
+// Error handling primitives shared by every RetroTurbo module.
+//
+// Per the C++ Core Guidelines (E.2, I.5) we report precondition violations
+// and runtime failures with exceptions carrying enough context to diagnose
+// the failing call site.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace rt {
+
+/// Thrown when a caller violates a documented precondition.
+class PreconditionError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when a runtime operation cannot complete (numerical failure,
+/// malformed trace file, decode failure surfaced as an error, ...).
+class RuntimeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void fail_precondition(const char* expr, const std::string& msg,
+                                           const std::source_location& loc) {
+  throw PreconditionError(std::string(loc.file_name()) + ":" + std::to_string(loc.line()) +
+                          ": precondition `" + expr + "` failed" +
+                          (msg.empty() ? "" : (": " + msg)));
+}
+
+}  // namespace detail
+
+/// Verifies a precondition; throws PreconditionError with location info on failure.
+inline void ensure(bool cond, const char* expr, const std::string& msg = "",
+                   const std::source_location& loc = std::source_location::current()) {
+  if (!cond) detail::fail_precondition(expr, msg, loc);
+}
+
+}  // namespace rt
+
+/// Precondition check macro that captures the failing expression text.
+#define RT_ENSURE(cond, ...) ::rt::ensure(static_cast<bool>(cond), #cond, ##__VA_ARGS__)

@@ -1,0 +1,22 @@
+// Checked narrowing conversions (GSL-style `narrow`), Core Guidelines ES.46.
+#pragma once
+
+#include <type_traits>
+
+#include "common/error.h"
+
+namespace rt {
+
+/// Converts `v` to `To`, throwing RuntimeError if the value does not survive
+/// the round trip (lossy narrowing).
+template <typename To, typename From>
+[[nodiscard]] constexpr To narrow(From v) {
+  const auto out = static_cast<To>(v);
+  if (static_cast<From>(out) != v) throw RuntimeError("narrowing conversion lost information");
+  if constexpr (std::is_signed_v<From> != std::is_signed_v<To>) {
+    if ((v < From{}) != (out < To{})) throw RuntimeError("narrowing conversion changed sign");
+  }
+  return out;
+}
+
+}  // namespace rt

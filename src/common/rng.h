@@ -1,0 +1,63 @@
+// Deterministic random number generation for reproducible simulations.
+//
+// Every stochastic component in RetroTurbo (AWGN, pixel heterogeneity,
+// scenario placement, ...) draws from an rt::Rng seeded explicitly, so a
+// simulation run is a pure function of its configuration.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace rt {
+
+/// Thin wrapper over a 64-bit Mersenne Twister with convenience draws.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed5eedULL) : engine_(seed) {}
+
+  /// Uniform real in [lo, hi).
+  [[nodiscard]] double uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Standard normal draw scaled to the given sigma and mean.
+  [[nodiscard]] double gaussian(double mean = 0.0, double sigma = 1.0) {
+    return std::normal_distribution<double>(mean, sigma)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Fair coin / biased coin.
+  [[nodiscard]] bool bernoulli(double p = 0.5) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// `n` random payload bits.
+  [[nodiscard]] std::vector<std::uint8_t> bits(std::size_t n) {
+    std::vector<std::uint8_t> out(n);
+    for (auto& b : out) b = bernoulli() ? 1 : 0;
+    return out;
+  }
+
+  /// `n` random payload bytes.
+  [[nodiscard]] std::vector<std::uint8_t> bytes(std::size_t n) {
+    std::vector<std::uint8_t> out(n);
+    for (auto& b : out) b = static_cast<std::uint8_t>(uniform_int(0, 255));
+    return out;
+  }
+
+  /// Derives an independent child stream (for per-component seeding).
+  [[nodiscard]] Rng fork() { return Rng(engine_()); }
+
+  /// Access to the raw engine for std:: distributions not wrapped here.
+  [[nodiscard]] std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace rt

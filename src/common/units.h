@@ -1,0 +1,38 @@
+// Unit helpers (decibels, time, angles) used across the code base.
+//
+// RetroTurbo mixes optical power ratios (dB), durations (seconds, with
+// millisecond-scale LCM dynamics) and polarization angles (degrees in the
+// paper, radians internally). These helpers keep the conversions explicit.
+#pragma once
+
+#include <cmath>
+#include <numbers>
+
+namespace rt {
+
+inline constexpr double kPi = std::numbers::pi;
+
+/// Power ratio -> decibels.
+[[nodiscard]] inline double to_db(double power_ratio) { return 10.0 * std::log10(power_ratio); }
+
+/// Decibels -> power ratio.
+[[nodiscard]] inline double from_db(double db) { return std::pow(10.0, db / 10.0); }
+
+/// Amplitude ratio -> decibels (20 log10).
+[[nodiscard]] inline double amplitude_to_db(double amp_ratio) {
+  return 20.0 * std::log10(amp_ratio);
+}
+
+[[nodiscard]] inline constexpr double deg_to_rad(double deg) { return deg * kPi / 180.0; }
+[[nodiscard]] inline constexpr double rad_to_deg(double rad) { return rad * 180.0 / kPi; }
+
+/// Milliseconds -> seconds (the paper quotes all LCM timings in ms).
+[[nodiscard]] inline constexpr double ms(double v) { return v * 1e-3; }
+
+/// Microseconds -> seconds.
+[[nodiscard]] inline constexpr double us(double v) { return v * 1e-6; }
+
+/// Kilohertz -> hertz.
+[[nodiscard]] inline constexpr double khz(double v) { return v * 1e3; }
+
+}  // namespace rt

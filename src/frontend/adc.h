@@ -1,0 +1,54 @@
+// ADC quantization model (the STM32H750's integrated ADCs, section 6).
+//
+// Uniform mid-tread quantizer with configurable resolution and full-scale
+// range; saturates at the rails. Lets experiments check that the 12-bit
+// converter is not the bottleneck (and what happens when gain control
+// fails and it clips).
+#pragma once
+
+#include <cmath>
+
+#include "common/error.h"
+#include "signal/waveform.h"
+
+namespace rt::frontend {
+
+class Adc {
+ public:
+  Adc(int bits, double full_scale) : bits_(bits), full_scale_(full_scale) {
+    RT_ENSURE(bits >= 2 && bits <= 24, "ADC resolution must be 2..24 bits");
+    RT_ENSURE(full_scale > 0.0, "full scale must be positive");
+    step_ = 2.0 * full_scale_ / static_cast<double>((1LL << bits_) - 1);
+  }
+
+  [[nodiscard]] double quantize(double v) const {
+    const double clipped = std::clamp(v, -full_scale_, full_scale_);
+    return std::round(clipped / step_) * step_;
+  }
+
+  [[nodiscard]] sig::Waveform convert(const sig::Waveform& in) const {
+    sig::Waveform out(in.sample_rate_hz, in.size());
+    for (std::size_t i = 0; i < in.size(); ++i) out[i] = quantize(in[i]);
+    return out;
+  }
+
+  /// Quantizes I and Q independently (two ADC channels, as in the reader).
+  [[nodiscard]] sig::IqWaveform convert(const sig::IqWaveform& in) const {
+    sig::IqWaveform out(in.sample_rate_hz, in.size());
+    for (std::size_t i = 0; i < in.size(); ++i)
+      out[i] = {quantize(in[i].real()), quantize(in[i].imag())};
+    return out;
+  }
+
+  [[nodiscard]] int bits() const { return bits_; }
+  [[nodiscard]] double step() const { return step_; }
+  /// Ideal quantization SNR for a full-scale sine: 6.02 b + 1.76 dB.
+  [[nodiscard]] double ideal_snr_db() const { return 6.02 * bits_ + 1.76; }
+
+ private:
+  int bits_;
+  double full_scale_;
+  double step_;
+};
+
+}  // namespace rt::frontend

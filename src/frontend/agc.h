@@ -1,0 +1,68 @@
+// Automatic gain control (the VCA821 variable-gain stage + MCU gain-control
+// loop of the prototype reader, section 6).
+//
+// Keeps the signal amplitude inside the ADC's useful range: a slow
+// feedback loop scales the input toward a target RMS, with slew limiting
+// so gain changes do not masquerade as modulation within a packet.
+#pragma once
+
+#include <cmath>
+
+#include "common/error.h"
+#include "signal/waveform.h"
+
+namespace rt::frontend {
+
+struct AgcConfig {
+  double target_rms = 1.0;
+  double min_gain = 1e-3;
+  double max_gain = 1e3;
+  /// Averaging window for the power estimate (seconds).
+  double window_s = 5e-3;
+  /// Max relative gain change per window (slew limit).
+  double max_step = 0.25;
+
+  void validate() const {
+    RT_ENSURE(target_rms > 0.0, "target RMS must be positive");
+    RT_ENSURE(min_gain > 0.0 && max_gain > min_gain, "gain range invalid");
+    RT_ENSURE(window_s > 0.0 && max_step > 0.0 && max_step < 1.0, "loop parameters invalid");
+  }
+};
+
+class Agc {
+ public:
+  explicit Agc(const AgcConfig& config = {}) : cfg_(config), gain_(1.0) { cfg_.validate(); }
+
+  /// Processes a waveform block-wise; the gain adapts once per window.
+  [[nodiscard]] sig::IqWaveform apply(const sig::IqWaveform& in) {
+    sig::IqWaveform out(in.sample_rate_hz, in.size());
+    const auto window =
+        std::max<std::size_t>(1, static_cast<std::size_t>(cfg_.window_s * in.sample_rate_hz));
+    for (std::size_t start = 0; start < in.size(); start += window) {
+      const std::size_t end = std::min(in.size(), start + window);
+      double p = 0.0;
+      for (std::size_t i = start; i < end; ++i) p += std::norm(in[i]);
+      const double rms = std::sqrt(p / static_cast<double>(end - start));
+      if (rms > 0.0) {
+        const double desired = cfg_.target_rms / (rms + 1e-300);
+        const double lo = gain_ * (1.0 - cfg_.max_step);
+        const double hi = gain_ * (1.0 + cfg_.max_step);
+        gain_ = std::clamp(std::clamp(desired, lo, hi), cfg_.min_gain, cfg_.max_gain);
+      }
+      for (std::size_t i = start; i < end; ++i) out[i] = gain_ * in[i];
+    }
+    return out;
+  }
+
+  [[nodiscard]] double gain() const { return gain_; }
+  void reset(double gain = 1.0) {
+    RT_ENSURE(gain >= cfg_.min_gain && gain <= cfg_.max_gain, "gain outside configured range");
+    gain_ = gain;
+  }
+
+ private:
+  AgcConfig cfg_;
+  double gain_;
+};
+
+}  // namespace rt::frontend

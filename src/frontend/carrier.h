@@ -1,0 +1,34 @@
+// Switching-carrier illumination model.
+//
+// The reader (section 6) chops its flashlight at 455 kHz and receives in
+// the passband, so slow ambient light variations (DC after photodetection)
+// are rejected by a band-pass filter and only the retroreflected, chopped
+// light carries the tag's modulation.
+#pragma once
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace rt::frontend {
+
+struct Carrier {
+  double frequency_hz = rt::khz(455.0);
+  double duty = 0.5;
+
+  /// Instantaneous illumination factor in {0, 1} (square switching).
+  [[nodiscard]] double value(double t) const {
+    RT_ENSURE(duty > 0.0 && duty < 1.0, "duty cycle must be in (0, 1)");
+    const double phase = t * frequency_hz - std::floor(t * frequency_hz);
+    return phase < duty ? 1.0 : 0.0;
+  }
+
+  /// Fundamental-component amplitude of the square carrier (used by the
+  /// synchronous detector's gain bookkeeping): (2 / pi) sin(pi * duty).
+  [[nodiscard]] double fundamental_amplitude() const {
+    return 2.0 / rt::kPi * std::sin(rt::kPi * duty);
+  }
+};
+
+}  // namespace rt::frontend

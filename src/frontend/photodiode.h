@@ -1,0 +1,62 @@
+// Photodiode + first-stage amplifier model (BPW34 + OPA2356 in the
+// prototype).
+//
+// Converts optical intensity to an electrical sample stream with shot
+// noise (scales with sqrt of detected power), input-referred thermal/
+// amplifier noise, and soft saturation. The "imperfect linearity in the
+// photodiode and high noise floor" the paper blames for capping the
+// prototype at 8 Kbps (section 7.3) correspond to the saturation knee and
+// noise floor here.
+#pragma once
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "signal/waveform.h"
+
+namespace rt::frontend {
+
+struct PhotodiodeParams {
+  double responsivity = 1.0;        ///< intensity -> electrical amplitude
+  double thermal_noise_sigma = 0.0; ///< input-referred circuit noise
+  double shot_noise_coeff = 0.0;    ///< sigma = coeff * sqrt(intensity)
+  double saturation_level = 1e12;   ///< soft-clip knee (electrical units)
+
+  void validate() const {
+    RT_ENSURE(responsivity > 0.0, "responsivity must be positive");
+    RT_ENSURE(thermal_noise_sigma >= 0.0 && shot_noise_coeff >= 0.0, "noise must be >= 0");
+    RT_ENSURE(saturation_level > 0.0, "saturation level must be positive");
+  }
+};
+
+class Photodiode {
+ public:
+  explicit Photodiode(const PhotodiodeParams& params) : p_(params) { p_.validate(); }
+
+  /// Converts an optical intensity waveform (non-negative) to the
+  /// electrical output, adding noise from `rng`.
+  [[nodiscard]] sig::Waveform detect(const sig::Waveform& intensity, Rng& rng) const {
+    sig::Waveform out(intensity.sample_rate_hz, intensity.size());
+    for (std::size_t i = 0; i < intensity.size(); ++i) {
+      const double in = std::max(0.0, intensity[i]);
+      double v = p_.responsivity * in;
+      v += rng.gaussian(0.0, p_.thermal_noise_sigma);
+      if (p_.shot_noise_coeff > 0.0) v += rng.gaussian(0.0, p_.shot_noise_coeff * std::sqrt(in));
+      out[i] = soft_clip(v);
+    }
+    return out;
+  }
+
+  [[nodiscard]] const PhotodiodeParams& params() const { return p_; }
+
+ private:
+  /// tanh soft clip around the saturation knee: linear for |v| << sat.
+  [[nodiscard]] double soft_clip(double v) const {
+    return p_.saturation_level * std::tanh(v / p_.saturation_level);
+  }
+
+  PhotodiodeParams p_;
+};
+
+}  // namespace rt::frontend

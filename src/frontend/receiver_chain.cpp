@@ -1,0 +1,122 @@
+#include "frontend/receiver_chain.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/narrow.h"
+
+namespace rt::frontend {
+
+void ReceiverChainConfig::validate() const {
+  RT_ENSURE(passband_fs_hz > 2.0 * carrier.frequency_hz,
+            "passband rate must exceed Nyquist for the carrier");
+  RT_ENSURE(baseband_fs_hz > 0.0, "baseband rate must be positive");
+  const double ratio = passband_fs_hz / baseband_fs_hz;
+  RT_ENSURE(std::abs(ratio - std::round(ratio)) < 1e-9,
+            "baseband rate must divide the passband rate");
+  RT_ENSURE(bandpass_half_width_hz > 0.0 &&
+                carrier.frequency_hz + bandpass_half_width_hz < passband_fs_hz / 2.0,
+            "band-pass edges must stay below Nyquist");
+  photodiode.validate();
+}
+
+std::size_t ReceiverChainConfig::decimation_factor() const {
+  return static_cast<std::size_t>(std::llround(passband_fs_hz / baseband_fs_hz));
+}
+
+ReceiverChain::ReceiverChain(const ReceiverChainConfig& config)
+    : cfg_(config),
+      bandpass_((cfg_.validate(),
+                 sig::FirFilter::band_pass(cfg_.passband_fs_hz,
+                                           cfg_.carrier.frequency_hz - cfg_.bandpass_half_width_hz,
+                                           cfg_.carrier.frequency_hz + cfg_.bandpass_half_width_hz,
+                                           cfg_.bandpass_taps | 1))),
+      lowpass_(sig::FirFilter::low_pass(cfg_.passband_fs_hz, cfg_.baseband_fs_hz * 0.45,
+                                        cfg_.lowpass_taps | 1)) {}
+
+PhotodiodeInputs ReceiverChain::illuminate(const sig::IqWaveform& r_baseband,
+                                           double total_intensity,
+                                           double ambient_intensity) const {
+  RT_ENSURE(total_intensity >= 0.0 && ambient_intensity >= 0.0, "intensities must be >= 0");
+  const double fs = cfg_.passband_fs_hz;
+  const std::size_t up = cfg_.decimation_factor();
+  RT_ENSURE(std::abs(r_baseband.sample_rate_hz - cfg_.baseband_fs_hz) < 1e-6,
+            "tag baseband waveform must be at the configured baseband rate");
+  const std::size_t n = r_baseband.size() * up;
+  PhotodiodeInputs out{
+      sig::Waveform(fs, n), sig::Waveform(fs, n), sig::Waveform(fs, n), sig::Waveform(fs, n)};
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / fs;
+    // Zero-order hold of the baseband modulation (LC dynamics are orders of
+    // magnitude slower than the carrier).
+    const auto r = r_baseband[i / up];
+    const double chop = cfg_.carrier.value(t);
+    // pd(theta) + pd(theta+90) = total intensity; pd(theta) - pd(theta+90)
+    // = PDR projection. Invert for the individual diode intensities.
+    const double i0 = 0.5 * (total_intensity + r.real());
+    const double i90 = 0.5 * (total_intensity - r.real());
+    const double i45 = 0.5 * (total_intensity + r.imag());
+    const double i135 = 0.5 * (total_intensity - r.imag());
+    // Ambient is unpolarized: half passes any polarizer, unchopped.
+    const double amb = 0.5 * ambient_intensity;
+    out.pd_0[i] = chop * i0 + amb;
+    out.pd_90[i] = chop * i90 + amb;
+    out.pd_45[i] = chop * i45 + amb;
+    out.pd_135[i] = chop * i135 + amb;
+  }
+  return out;
+}
+
+sig::Waveform ReceiverChain::downconvert(const sig::Waveform& passband) const {
+  const auto filtered = bandpass_.apply(passband);
+  // Synchronous detection. The duty-d square carrier's fundamental is
+  // A cos(2 pi f0 t + phi) with A = (2/pi) sin(pi d) and phi = -pi d, so we
+  // mix with the complex exponential, low-pass, then rotate the known
+  // carrier phase away and rescale by 2/A to recover the modulation.
+  sig::IqWaveform mixed(filtered.sample_rate_hz, filtered.size());
+  const double f0 = cfg_.carrier.frequency_hz;
+  for (std::size_t i = 0; i < filtered.size(); ++i) {
+    const double t = static_cast<double>(i) / filtered.sample_rate_hz;
+    mixed[i] = filtered[i] * std::polar(1.0, -2.0 * rt::kPi * f0 * t);
+  }
+  const auto lp = lowpass_.apply(mixed);
+  const double a = cfg_.carrier.fundamental_amplitude();
+  const double phi = -rt::kPi * cfg_.carrier.duty;
+  const auto derotate = std::polar(2.0 / a, -phi);
+  sig::Waveform out(lp.sample_rate_hz, lp.size());
+  for (std::size_t i = 0; i < lp.size(); ++i) out[i] = (lp[i] * derotate).real();
+  return out;
+}
+
+sig::IqWaveform ReceiverChain::process(const PhotodiodeInputs& inputs, Rng& rng) const {
+  RT_ENSURE(inputs.pd_0.size() == inputs.pd_90.size() &&
+                inputs.pd_0.size() == inputs.pd_45.size() &&
+                inputs.pd_0.size() == inputs.pd_135.size(),
+            "photodiode streams must have equal length");
+  const Photodiode pd(cfg_.photodiode);
+  const auto e0 = pd.detect(inputs.pd_0, rng);
+  const auto e90 = pd.detect(inputs.pd_90, rng);
+  const auto e45 = pd.detect(inputs.pd_45, rng);
+  const auto e135 = pd.detect(inputs.pd_135, rng);
+
+  // PDR differential combination per channel (section 6: two front
+  // polarizers orthogonal to each other for SNR improvement).
+  sig::Waveform diff_i(e0.sample_rate_hz, e0.size());
+  sig::Waveform diff_q(e0.sample_rate_hz, e0.size());
+  for (std::size_t i = 0; i < e0.size(); ++i) {
+    diff_i[i] = e0[i] - e90[i];
+    diff_q[i] = e45[i] - e135[i];
+  }
+
+  const auto base_i = downconvert(diff_i);
+  const auto base_q = downconvert(diff_q);
+
+  const std::size_t factor = cfg_.decimation_factor();
+  const auto dec_i = sig::decimate(base_i, factor);
+  const auto dec_q = sig::decimate(base_q, factor);
+  sig::IqWaveform out(cfg_.baseband_fs_hz, dec_i.size());
+  for (std::size_t i = 0; i < dec_i.size(); ++i) out[i] = {dec_i[i], dec_q[i]};
+  return out;
+}
+
+}  // namespace rt::frontend

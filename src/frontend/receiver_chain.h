@@ -1,0 +1,73 @@
+// Passband receiver chain: the Photodiode-Amplifier-ADC path of the reader
+// (section 6), duplicated for the two PQAM polarization channels.
+//
+// Pipeline per channel:
+//   PDR difference (two photodiodes behind orthogonal polarizers)
+//   -> band-pass around the 455 kHz carrier (ambient/DC rejection)
+//   -> synchronous down-conversion (multiply by carrier fundamental)
+//   -> low-pass + decimation to the baseband sample rate.
+//
+// The sim layer's fast path skips all this and works directly at baseband;
+// passband_equivalence tests pin the two paths to each other so the fast
+// path is a validated shortcut, not an assumption.
+#pragma once
+
+#include "common/rng.h"
+#include "frontend/carrier.h"
+#include "frontend/photodiode.h"
+#include "signal/fir.h"
+#include "signal/waveform.h"
+
+namespace rt::frontend {
+
+struct ReceiverChainConfig {
+  Carrier carrier{};
+  double passband_fs_hz = 4.0e6;   ///< ADC rate before decimation
+  double baseband_fs_hz = 40.0e3;  ///< output rate (must divide passband rate)
+  double bandpass_half_width_hz = 60.0e3;
+  std::size_t bandpass_taps = 257;
+  std::size_t lowpass_taps = 257;
+  PhotodiodeParams photodiode{};
+
+  void validate() const;
+  [[nodiscard]] std::size_t decimation_factor() const;
+};
+
+/// The four raw optical intensity streams hitting the reader's photodiodes
+/// (polarizer angles 0deg, 90deg, 45deg, 135deg), at the passband rate.
+struct PhotodiodeInputs {
+  sig::Waveform pd_0;
+  sig::Waveform pd_90;
+  sig::Waveform pd_45;
+  sig::Waveform pd_135;
+};
+
+class ReceiverChain {
+ public:
+  explicit ReceiverChain(const ReceiverChainConfig& config);
+
+  /// Full passband processing: photodetection with noise, band-pass,
+  /// synchronous detection, decimation. Returns the complex baseband
+  /// (I = 0deg PDR pair, Q = 45deg PDR pair).
+  [[nodiscard]] sig::IqWaveform process(const PhotodiodeInputs& inputs, Rng& rng) const;
+
+  /// Builds the photodiode intensity streams for a tag baseband waveform:
+  /// the reader's chopped illumination multiplies the retroreflected tag
+  /// component while ambient light stays unchopped. `total_intensity` is
+  /// the polarization-independent part of the tag return (sum of pixel
+  /// intensities); `r_baseband` the complex PDR modulation.
+  [[nodiscard]] PhotodiodeInputs illuminate(const sig::IqWaveform& r_baseband,
+                                            double total_intensity,
+                                            double ambient_intensity) const;
+
+  [[nodiscard]] const ReceiverChainConfig& config() const { return cfg_; }
+
+ private:
+  [[nodiscard]] sig::Waveform downconvert(const sig::Waveform& passband) const;
+
+  ReceiverChainConfig cfg_;
+  sig::FirFilter bandpass_;
+  sig::FirFilter lowpass_;
+};
+
+}  // namespace rt::frontend

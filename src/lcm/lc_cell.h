@@ -1,0 +1,76 @@
+// Liquid-crystal cell state dynamics.
+//
+// Physical picture (paper sections 2.2, 4.1 and ref [16]): a twisted-
+// nematic cell rotates light polarization by 90deg relaxed and 0deg when
+// charged. The director realigns with the field quickly when driven
+// (electric force, tau ~ 0.1 ms) but relaxes slowly when released
+// (elastic + viscous forces, ~4 ms) with a ~1 ms near-flat plateau at the
+// start of the discharge -- the asymmetry DSM exploits.
+//
+// We model the alignment state c(t) in [0, 1] (1 = field-aligned/charged)
+// coupled to a slow surface-memory state s(t) that tracks recent charge
+// history (director pretilt / backflow):
+//   driven:   dc/dt = (1 - c) / (tau_charge * (1 + k_mem (1 - s)))
+//   released: dc/dt = -c (1 - c) / tau_relax - c / tau_slow
+//   always:   ds/dt = (c - s) / tau_memory
+// The released form is logistic-like: near c = 1 the (1 - c) factor kills
+// the first term, leaving only the slow leak -> plateau; mid-range the
+// relaxation dominates -> fast fall; near 0 it tails off exponentially.
+// The memory coupling makes a recharge ramp up noticeably slower when the
+// cell sat discharged for a while ("010" vs "110", paper Fig. 11a) -- the
+// tail effect that the V-bit fingerprint training must absorb.
+#pragma once
+
+#include "common/error.h"
+
+namespace rt::lcm {
+
+/// Time constants of one LC cell. Defaults reproduce the paper's Fig. 3
+/// shape: ~0.5 ms effective charge time, ~1 ms discharge plateau, ~3.5 ms
+/// total discharge.
+struct LcTimings {
+  double tau_charge_s = 0.10e-3;
+  double tau_relax_s = 0.55e-3;
+  double tau_slow_s = 20e-3;
+  double tau_memory_s = 3.0e-3;    ///< surface-memory tracking time
+  double memory_coupling = 0.8;    ///< charge-delay strength of low memory
+
+  void validate() const {
+    RT_ENSURE(tau_charge_s > 0.0 && tau_relax_s > 0.0 && tau_slow_s > 0.0 && tau_memory_s > 0.0,
+              "LC time constants must be positive");
+    RT_ENSURE(memory_coupling >= 0.0, "memory coupling cannot be negative");
+  }
+};
+
+class LcCell {
+ public:
+  explicit LcCell(const LcTimings& timings = {}) : t_(timings) { t_.validate(); }
+
+  /// Resets the alignment state (0 = fully relaxed); the memory state
+  /// follows the alignment.
+  void reset(double c0 = 0.0) {
+    RT_ENSURE(c0 >= 0.0 && c0 <= 1.0, "state must be in [0, 1]");
+    c_ = c0;
+    s_ = c0;
+  }
+
+  /// Alignment state in [0, 1].
+  [[nodiscard]] double state() const { return c_; }
+
+  /// Surface-memory state in [0, 1].
+  [[nodiscard]] double memory() const { return s_; }
+
+  /// Advances the cell by `dt` seconds with the drive voltage on/off.
+  /// Internally substeps so accuracy does not depend on the caller's
+  /// sample rate. Returns the new state.
+  double step(bool driven, double dt);
+
+  [[nodiscard]] const LcTimings& timings() const { return t_; }
+
+ private:
+  LcTimings t_;
+  double c_ = 0.0;
+  double s_ = 0.0;
+};
+
+}  // namespace rt::lcm

@@ -1,0 +1,97 @@
+// An LCM module: a group of binary-weighted pixels acting as one PAM
+// (sub-)modulator.
+//
+// Prototype (section 6): each customized LCM contains pixels with area
+// ratio 8:4:2:1, realizing amplitude-shift keying up to 16 levels per
+// polarization axis. Driving "level" k charges exactly the pixels of the
+// binary decomposition of k, so the module's aggregate swing is
+// proportional to k / (2^bits - 1).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "lcm/pixel.h"
+
+namespace rt::lcm {
+
+/// Distribution widths for per-pixel manufacturing/illumination spread
+/// (paper Fig. 11b). Zero-initialized = ideal homogeneous hardware.
+struct Heterogeneity {
+  double gain_sigma = 0.0;         ///< relative amplitude spread
+  double timing_sigma = 0.0;       ///< relative time-constant spread
+  double angle_sigma_rad = 0.0;    ///< polarizer attachment error spread
+};
+
+class Module {
+ public:
+  /// Creates `bits` pixels with areas 2^(bits-1) .. 1 at the given
+  /// polarizer angle, drawing deviations from `het` using `rng`.
+  ///
+  /// Granularity of the spread reflects the hardware: each LCM module is
+  /// one liquid-crystal cell behind one back polarizer, so the polarizer
+  /// attachment error and the LC time constants are drawn once per module
+  /// (and absorbed by the per-module online training), while the
+  /// amplitude/transmission gain varies per pixel (etching/ITO spread --
+  /// what the pixel-calibration extension estimates).
+  Module(int bits, double polarizer_angle_rad, const Heterogeneity& het, Rng& rng,
+         const LcTimings& timings = {}) {
+    RT_ENSURE(bits >= 1 && bits <= 8, "module supports 1..8 binary-weighted pixels");
+    const double total_area = static_cast<double>((1 << bits) - 1);
+    const double module_angle_error = het.angle_sigma_rad * rng.gaussian();
+    LcTimings module_timings = timings;
+    module_timings.tau_charge_s *= 1.0 + het.timing_sigma * rng.gaussian();
+    module_timings.tau_relax_s *= 1.0 + het.timing_sigma * rng.gaussian();
+    for (int b = bits - 1; b >= 0; --b) {
+      PixelParams p;
+      p.area = static_cast<double>(1 << b) / total_area;  // normalized: full level -> 1.0
+      p.gain = 1.0 + het.gain_sigma * rng.gaussian();
+      RT_ENSURE(p.gain > 0.0, "heterogeneity produced non-positive gain");
+      p.polarizer_angle_rad = polarizer_angle_rad;
+      p.angle_error_rad = module_angle_error;
+      p.timings = module_timings;
+      pixels_.emplace_back(p);
+    }
+  }
+
+  [[nodiscard]] int bits() const { return static_cast<int>(pixels_.size()); }
+  [[nodiscard]] int max_level() const { return (1 << bits()) - 1; }
+
+  /// Sets the drive level for subsequent step() calls: pixels named by the
+  /// binary decomposition of `level` are driven.
+  void set_level(int level) {
+    RT_ENSURE(level >= 0 && level <= max_level(), "drive level out of range");
+    level_ = level;
+  }
+
+  /// Releases all pixels (level 0).
+  void release() { level_ = 0; }
+
+  [[nodiscard]] int level() const { return level_; }
+
+  /// Advances all pixels by dt and returns the module's aggregate complex
+  /// contribution. Pixel i (area 2^(bits-1-i)) is driven iff the matching
+  /// bit of the current level is set.
+  Complex step(double dt) {
+    Complex acc{};
+    for (std::size_t i = 0; i < pixels_.size(); ++i) {
+      const int bit = bits() - 1 - static_cast<int>(i);
+      const bool driven = ((level_ >> bit) & 1) != 0;
+      acc += pixels_[i].step(driven, dt);
+    }
+    return acc;
+  }
+
+  void reset() {
+    for (auto& px : pixels_) px.reset();
+    level_ = 0;
+  }
+
+  [[nodiscard]] const std::vector<Pixel>& pixels() const { return pixels_; }
+
+ private:
+  std::vector<Pixel> pixels_;
+  int level_ = 0;
+};
+
+}  // namespace rt::lcm

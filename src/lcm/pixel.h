@@ -1,0 +1,66 @@
+// A single LCM pixel: an LC cell behind a back polarizer, on the
+// retroreflector substrate.
+//
+// Flicker-free configuration (front polarizer detached, section 4.2.1):
+// the pixel's retroreflected light is always at full intensity, polarized
+// at theta_b (charged) or theta_b + 90deg (relaxed). Mid-transition the
+// cell splits energy between the two eigen-polarizations in proportion to
+// the alignment state c(t), so the complex two-PDR receiver sees
+//   contribution(t) = gain * area * (2 c(t) - 1) * exp(j 2 (theta_b + eps))
+// which satisfies the paper's observation p_I(t) = j p_Q(t): I- and Q-
+// pixels share the same scalar pulse, placed on orthogonal axes.
+#pragma once
+
+#include <complex>
+
+#include "common/units.h"
+#include "lcm/lc_cell.h"
+
+namespace rt::lcm {
+
+using Complex = std::complex<double>;
+
+struct PixelParams {
+  double area = 1.0;              ///< relative area (binary weights within a module)
+  double gain = 1.0;              ///< amplitude heterogeneity (manufacturing, illumination)
+  double polarizer_angle_rad = 0.0;  ///< back polarizer angle (0 = I group, pi/4 = Q group)
+  double angle_error_rad = 0.0;   ///< polarizer attachment error
+  LcTimings timings{};
+
+  void validate() const {
+    RT_ENSURE(area > 0.0 && gain > 0.0, "pixel area and gain must be positive");
+    timings.validate();
+  }
+};
+
+class Pixel {
+ public:
+  explicit Pixel(const PixelParams& params) : p_(params), cell_(params.timings) {
+    p_.validate();
+    axis_ = std::polar(1.0, 2.0 * (p_.polarizer_angle_rad + p_.angle_error_rad));
+  }
+
+  /// Advances the LC cell and returns the pixel's complex contribution to
+  /// the two-PDR receiver sample (bipolar: -A relaxed .. +A charged).
+  Complex step(bool driven, double dt) {
+    const double c = cell_.step(driven, dt);
+    return p_.gain * p_.area * (2.0 * c - 1.0) * axis_;
+  }
+
+  /// Current contribution without advancing time.
+  [[nodiscard]] Complex contribution() const {
+    return p_.gain * p_.area * (2.0 * cell_.state() - 1.0) * axis_;
+  }
+
+  void reset(double c0 = 0.0) { cell_.reset(c0); }
+
+  [[nodiscard]] const PixelParams& params() const { return p_; }
+  [[nodiscard]] double state() const { return cell_.state(); }
+
+ private:
+  PixelParams p_;
+  LcCell cell_;
+  Complex axis_;
+};
+
+}  // namespace rt::lcm

@@ -1,0 +1,81 @@
+// SN74LV595 shift-register daisy chain emulation.
+//
+// The prototype tag (section 6) controls 4 x 4 x 4 = 64 independent pixels
+// without a wire mess by daisy-chaining 74LV595 8-bit shift registers on an
+// SPI bus: the MCU clocks bits through the chain (SER -> QH' of each stage)
+// and pulses RCLK to latch all storage registers onto the pixel drive
+// lines at once. This emulation is bit-exact: shift on SRCLK rising edge,
+// latch on RCLK rising edge, asynchronous SRCLR clear.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/error.h"
+
+namespace rt::lcm {
+
+class ShiftRegisterChain {
+ public:
+  /// `num_registers` 8-bit stages; total outputs = 8 * num_registers.
+  explicit ShiftRegisterChain(std::size_t num_registers)
+      : shift_(num_registers * 8, 0), latch_(num_registers * 8, 0) {
+    RT_ENSURE(num_registers >= 1, "need at least one register");
+  }
+
+  [[nodiscard]] std::size_t size() const { return shift_.size(); }
+
+  /// SRCLK rising edge with SER = `bit`: every stage shifts toward QH;
+  /// bit index 0 is the first bit that will eventually reach the far end.
+  void clock_in(bool bit) {
+    for (std::size_t i = shift_.size(); i-- > 1;) shift_[i] = shift_[i - 1];
+    shift_[0] = bit ? 1 : 0;
+  }
+
+  /// RCLK rising edge: copies the shift register to the output latches.
+  void latch() { latch_ = shift_; }
+
+  /// SRCLR low: clears the shift register (storage latches unaffected).
+  void clear_shift() { std::fill(shift_.begin(), shift_.end(), 0); }
+
+  /// Latched pixel drive lines. Output 0 is the *last* bit clocked in
+  /// (nearest stage QA); output size()-1 is the first bit (far end QH).
+  [[nodiscard]] const std::vector<std::uint8_t>& outputs() const { return latch_; }
+
+  /// Convenience: one SPI transaction -- clocks in `bits` MSB-first
+  /// (bits[0] ends up at the far end of the chain) and latches.
+  void spi_write(std::span<const std::uint8_t> bits) {
+    RT_ENSURE(bits.size() == shift_.size(), "SPI frame must fill the whole chain");
+    for (const auto b : bits) clock_in(b != 0);
+    latch();
+  }
+
+ private:
+  std::vector<std::uint8_t> shift_;
+  std::vector<std::uint8_t> latch_;
+};
+
+/// Maps a per-module level vector into the SPI frame for the daisy chain,
+/// mirroring the prototype wiring where each module's pixels occupy
+/// consecutive chain outputs, most significant (largest-area) pixel first.
+/// Frame bit order: the LAST module's bits are clocked first so that after
+/// a full transaction output i drives pixel i in natural order.
+[[nodiscard]] inline std::vector<std::uint8_t> levels_to_spi_frame(std::span<const int> levels,
+                                                                   int bits_per_module) {
+  RT_ENSURE(bits_per_module >= 1 && bits_per_module <= 8, "bits_per_module in [1, 8]");
+  std::vector<std::uint8_t> frame;
+  frame.reserve(levels.size() * static_cast<std::size_t>(bits_per_module));
+  // clock_in shifts everything away from output 0, so clock the last
+  // module's most significant pixel first; after the transaction output
+  // 4m + b carries bit b of levels[m].
+  for (std::size_t mi = levels.size(); mi-- > 0;) {
+    const int level = levels[mi];
+    RT_ENSURE(level >= 0 && level < (1 << bits_per_module), "level out of range");
+    for (int b = bits_per_module - 1; b >= 0; --b)
+      frame.push_back(static_cast<std::uint8_t>((level >> b) & 1));
+  }
+  return frame;
+}
+
+}  // namespace rt::lcm

@@ -1,0 +1,93 @@
+// The full tag-side optical antenna: an array of 2L LCM modules over the
+// retroreflector, split into an I group (back polarizers at 0deg) and a Q
+// group (45deg), per the paper's PQAM design (section 4.2.2).
+//
+// The array is a time-stepped simulator: the PHY modulator schedules
+// firings (module + drive level + time); synthesize() integrates every LC
+// cell and emits the complex two-PDR baseband waveform the reader would
+// see at unit link gain. Roll misalignment, link gain, noise and frontend
+// effects are applied downstream (sim / frontend layers).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "lcm/module.h"
+#include "signal/waveform.h"
+
+namespace rt::lcm {
+
+struct TagConfig {
+  int dsm_order = 8;            ///< L: modules per polarization group
+  int bits_per_axis = 2;        ///< log2(sqrt(P)): pixels per module; P = 4^bits_per_axis
+  double slot_s = rt::ms(0.5);  ///< T: DSM interleaving time
+  double charge_s = rt::ms(0.5);  ///< drive-on duration per firing (tau_1)
+  LcTimings timings{};
+  Heterogeneity heterogeneity{};
+  double yaw_rad = 0.0;         ///< yaw misalignment; distorts LC response off-axis
+  double yaw_timing_skew = 0.52; ///< strength of yaw-induced time-constant stretch
+  std::uint64_t seed = 1;       ///< pixel heterogeneity draw
+
+  [[nodiscard]] int pqam_order() const { return 1 << (2 * bits_per_axis); }
+  [[nodiscard]] int levels_per_axis() const { return 1 << bits_per_axis; }
+  /// DSM symbol duration W = L * T.
+  [[nodiscard]] double symbol_duration_s() const {
+    return static_cast<double>(dsm_order) * slot_s;
+  }
+
+  void validate() const {
+    RT_ENSURE(dsm_order >= 1 && dsm_order <= 64, "DSM order must be in [1, 64]");
+    RT_ENSURE(bits_per_axis >= 1 && bits_per_axis <= 4, "bits per axis must be in [1, 4]");
+    RT_ENSURE(slot_s > 0.0 && charge_s > 0.0, "timings must be positive");
+    RT_ENSURE(charge_s <= symbol_duration_s(), "charge duration cannot exceed W");
+    timings.validate();
+  }
+};
+
+/// One scheduled firing: at `time_s`, module `module` of each polarization
+/// group is driven with the given level for TagConfig::charge_s seconds.
+/// Level -1 means "do not touch this axis" (used by single-channel
+/// baselines and calibration patterns).
+struct Firing {
+  double time_s = 0.0;
+  int module = 0;   ///< 0 .. L-1
+  int level_i = 0;  ///< 0 .. 2^bits_per_axis - 1, or -1 to skip
+  int level_q = 0;
+};
+
+class TagArray {
+ public:
+  explicit TagArray(const TagConfig& config);
+
+  /// Runs the LC simulation over [0, duration_s) with the given firing
+  /// schedule (must be sorted by time) and returns the complex baseband
+  /// waveform at sample rate `fs`. The waveform includes the static bias of
+  /// relaxed pixels (a DC term the receiver regression removes).
+  [[nodiscard]] sig::IqWaveform synthesize(std::span<const Firing> schedule, double fs,
+                                           double duration_s);
+
+  /// Resets every LC cell to the relaxed state.
+  void reset();
+
+  [[nodiscard]] const TagConfig& config() const { return cfg_; }
+
+  /// Per-symbol tag energy in joules-equivalent units: each driven pixel
+  /// consumes charge proportional to its area and drive duration. Used by
+  /// the power microbenchmark (section 7.2.2): the DSM symbol length, not
+  /// the bit rate, fixes the power draw.
+  [[nodiscard]] double drive_energy(std::span<const Firing> schedule) const;
+
+  [[nodiscard]] const std::vector<Module>& i_modules() const { return i_modules_; }
+  [[nodiscard]] const std::vector<Module>& q_modules() const { return q_modules_; }
+
+ private:
+  TagConfig cfg_;
+  std::vector<Module> i_modules_;
+  std::vector<Module> q_modules_;
+  std::vector<double> module_gain_i_;  ///< yaw illumination gradient per module
+  std::vector<double> module_gain_q_;
+};
+
+}  // namespace rt::lcm

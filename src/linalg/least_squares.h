@@ -1,0 +1,109 @@
+// Householder-QR least squares over real or complex scalars.
+//
+// The receiver solves many small least-squares problems per packet: the
+// preamble rotation regression (a, b, c in C), per-symbol regression in the
+// DFE, and the online channel-training coefficient solve. QR on the
+// augmented system is numerically safer than normal equations for the
+// ill-conditioned tail-effect bases, at negligible cost at these sizes.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace rt::linalg {
+
+template <typename T>
+struct QrResult {
+  Matrix<T> q;  ///< m x n with orthonormal columns (thin QR)
+  Matrix<T> r;  ///< n x n upper triangular
+};
+
+/// Thin QR via modified Gram-Schmidt with reorthogonalization.
+/// Requires rows >= cols and full column rank.
+template <typename T>
+[[nodiscard]] QrResult<T> qr_decompose(const Matrix<T>& a) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  RT_ENSURE(m >= n, "qr_decompose requires rows >= cols");
+  Matrix<T> q(m, n);
+  Matrix<T> r(n, n);
+  std::vector<std::vector<T>> cols(n);
+  for (std::size_t j = 0; j < n; ++j) cols[j] = a.col(j);
+  for (std::size_t j = 0; j < n; ++j) {
+    auto& v = cols[j];
+    const double original_norm = norm<T>(v);
+    // Two MGS passes for numerical robustness; both projections accumulate
+    // into R (iterative reorthogonalization).
+    for (int pass = 0; pass < 2; ++pass) {
+      for (std::size_t i = 0; i < j; ++i) {
+        const T proj = dot<T>(q.col(i), v);
+        r(i, j) += proj;
+        const auto qi = q.col(i);
+        for (std::size_t k = 0; k < m; ++k) v[k] -= proj * qi[k];
+      }
+    }
+    const double nv = norm<T>(v);
+    // Relative rank test: a column (numerically) inside the span of its
+    // predecessors makes the system rank deficient.
+    RT_ENSURE(nv > 1e-300 && nv > 1e-10 * original_norm, "qr_decompose: rank-deficient matrix");
+    r(j, j) = T{nv};
+    for (std::size_t k = 0; k < m; ++k) q(k, j) = v[k] / T{nv};
+  }
+  return {std::move(q), std::move(r)};
+}
+
+/// Solves R x = y for upper-triangular R by back substitution.
+template <typename T>
+[[nodiscard]] std::vector<T> back_substitute(const Matrix<T>& r, std::span<const T> y) {
+  const std::size_t n = r.cols();
+  RT_ENSURE(r.rows() == n && y.size() == n, "back_substitute dimension mismatch");
+  std::vector<T> x(n);
+  for (std::size_t ii = 0; ii < n; ++ii) {
+    const std::size_t i = n - 1 - ii;
+    T s = y[i];
+    for (std::size_t j = i + 1; j < n; ++j) s -= r(i, j) * x[j];
+    RT_ENSURE(abs_sq(r(i, i)) > 0.0, "back_substitute: singular R");
+    x[i] = s / r(i, i);
+  }
+  return x;
+}
+
+/// Minimizes ||A x - b||_2 and returns x (thin-QR solve).
+template <typename T>
+[[nodiscard]] std::vector<T> solve_least_squares(const Matrix<T>& a, std::span<const T> b) {
+  RT_ENSURE(a.rows() == b.size(), "solve_least_squares dimension mismatch");
+  const auto [q, r] = qr_decompose(a);
+  // y = Q^H b
+  std::vector<T> y(a.cols());
+  for (std::size_t j = 0; j < a.cols(); ++j) y[j] = dot<T>(q.col(j), b);
+  return back_substitute(r, std::span<const T>(y));
+}
+
+/// Residual norm ||A x - b||_2 for a candidate solution.
+template <typename T>
+[[nodiscard]] double residual_norm(const Matrix<T>& a, std::span<const T> x,
+                                   std::span<const T> b) {
+  const auto ax = a * x;
+  RT_ENSURE(ax.size() == b.size(), "residual_norm dimension mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < b.size(); ++i) s += abs_sq(ax[i] - b[i]);
+  return std::sqrt(s);
+}
+
+// Vector-argument conveniences (span deduction does not see through
+// std::vector at a template call site).
+template <typename T>
+[[nodiscard]] std::vector<T> solve_least_squares(const Matrix<T>& a, const std::vector<T>& b) {
+  return solve_least_squares(a, std::span<const T>(b));
+}
+
+template <typename T>
+[[nodiscard]] double residual_norm(const Matrix<T>& a, const std::vector<T>& x,
+                                   const std::vector<T>& b) {
+  return residual_norm(a, std::span<const T>(x), std::span<const T>(b));
+}
+
+}  // namespace rt::linalg

@@ -1,0 +1,112 @@
+// One-sided Jacobi singular value decomposition (real matrices).
+//
+// Offline channel training (paper section 4.3.3) stacks pulse fingerprints
+// collected at n orientations into E = [r(x_1) ... r(x_n)] (rows: 2^V * m
+// waveform samples, cols: orientations) and extracts the leading S left
+// singular vectors as the invariant reference bases -- a truncated
+// Karhunen-Loeve expansion. n is small (tens), so one-sided Jacobi, which
+// orthogonalizes the columns by plane rotations, is simple and accurate.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace rt::linalg {
+
+struct SvdResult {
+  RealMatrix u;                   ///< m x k, orthonormal columns (k = min(m, n))
+  std::vector<double> sigma;      ///< k singular values, descending
+  RealMatrix v;                   ///< n x k, orthonormal columns
+};
+
+/// Computes the thin SVD A = U diag(sigma) V^T via one-sided Jacobi.
+[[nodiscard]] inline SvdResult svd(const RealMatrix& a_in, int max_sweeps = 60,
+                                   double tol = 1e-12) {
+  const std::size_t m = a_in.rows();
+  const std::size_t n = a_in.cols();
+  RT_ENSURE(m > 0 && n > 0, "svd requires a non-empty matrix");
+  // Work on columns of A; V accumulates the rotations.
+  RealMatrix a = a_in;
+  RealMatrix v = RealMatrix::identity(n);
+
+  const auto col_dot = [&](std::size_t p, std::size_t q) {
+    double s = 0.0;
+    for (std::size_t r = 0; r < m; ++r) s += a(r, p) * a(r, q);
+    return s;
+  };
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool rotated = false;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double app = col_dot(p, p);
+        const double aqq = col_dot(q, q);
+        const double apq = col_dot(p, q);
+        if (std::abs(apq) <= tol * std::sqrt(app * aqq) || apq == 0.0) continue;
+        rotated = true;
+        const double zeta = (aqq - app) / (2.0 * apq);
+        const double t = std::copysign(1.0, zeta) / (std::abs(zeta) + std::sqrt(1.0 + zeta * zeta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        for (std::size_t r = 0; r < m; ++r) {
+          const double ap = a(r, p);
+          const double aq = a(r, q);
+          a(r, p) = c * ap - s * aq;
+          a(r, q) = s * ap + c * aq;
+        }
+        for (std::size_t r = 0; r < n; ++r) {
+          const double vp = v(r, p);
+          const double vq = v(r, q);
+          v(r, p) = c * vp - s * vq;
+          v(r, q) = s * vp + c * vq;
+        }
+      }
+    }
+    if (!rotated) break;
+  }
+
+  // Singular values are the column norms; sort descending.
+  const std::size_t k = std::min(m, n);
+  std::vector<double> norms(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double s = 0.0;
+    for (std::size_t r = 0; r < m; ++r) s += a(r, j) * a(r, j);
+    norms[j] = std::sqrt(s);
+  }
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t i, std::size_t j) { return norms[i] > norms[j]; });
+
+  SvdResult out;
+  out.u = RealMatrix(m, k);
+  out.v = RealMatrix(n, k);
+  out.sigma.resize(k);
+  for (std::size_t jj = 0; jj < k; ++jj) {
+    const std::size_t j = order[jj];
+    out.sigma[jj] = norms[j];
+    if (norms[j] > 0.0) {
+      for (std::size_t r = 0; r < m; ++r) out.u(r, jj) = a(r, j) / norms[j];
+    } else if (jj > 0) {
+      // Zero singular value: leave the U column zero (caller truncates anyway).
+    }
+    for (std::size_t r = 0; r < n; ++r) out.v(r, jj) = v(r, j);
+  }
+  return out;
+}
+
+/// Returns the first `rank` left singular vectors as columns (the truncated
+/// Karhunen-Loeve basis used by offline channel training).
+[[nodiscard]] inline RealMatrix truncated_basis(const SvdResult& s, std::size_t rank) {
+  RT_ENSURE(rank >= 1 && rank <= s.sigma.size(), "truncated_basis: bad rank");
+  RealMatrix u(s.u.rows(), rank);
+  for (std::size_t c = 0; c < rank; ++c)
+    for (std::size_t r = 0; r < s.u.rows(); ++r) u(r, c) = s.u(r, c);
+  return u;
+}
+
+}  // namespace rt::linalg

@@ -1,0 +1,41 @@
+// Stop-and-wait ARQ (paper sections 4.4 and 7.3).
+#pragma once
+
+#include <functional>
+
+#include "common/error.h"
+
+namespace rt::mac {
+
+struct ArqResult {
+  bool delivered = false;
+  int attempts = 0;
+};
+
+/// Retries `try_send` (returns true on CRC-clean delivery) up to
+/// `max_attempts` times.
+class StopAndWaitArq {
+ public:
+  explicit StopAndWaitArq(int max_attempts = 8) : max_attempts_(max_attempts) {
+    RT_ENSURE(max_attempts >= 1, "need at least one attempt");
+  }
+
+  [[nodiscard]] ArqResult run(const std::function<bool()>& try_send) const {
+    ArqResult r;
+    while (r.attempts < max_attempts_) {
+      ++r.attempts;
+      if (try_send()) {
+        r.delivered = true;
+        return r;
+      }
+    }
+    return r;
+  }
+
+  [[nodiscard]] int max_attempts() const { return max_attempts_; }
+
+ private:
+  int max_attempts_;
+};
+
+}  // namespace rt::mac

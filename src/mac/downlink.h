@@ -1,0 +1,127 @@
+// Downlink command set and tag-side protocol state machine.
+//
+// Section 4.4: the reader manages tags master-slave over a TDMA uplink,
+// with an RFID-style discovery protocol and rate/coding assignments
+// piggybacked on downlink messages. The downlink itself is conventional
+// (tens-of-Kbps) VLC and is modelled at message level with a configurable
+// loss rate; this header defines the commands and the tag state machine
+// that reacts to them.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace rt::mac {
+
+enum class DownlinkType : std::uint8_t {
+  kQuery,       ///< open an inventory frame with `frame_slots` slots
+  kQueryRep,    ///< advance to the next slot of the current frame
+  kAck,         ///< acknowledge the tag that replied in this slot
+  kRateAssign,  ///< assign (rate_code, coding_code) to `target`
+  kPoll,        ///< TDMA: request an uplink frame from `target`
+  kSleep,       ///< put `target` to sleep until the next inventory
+};
+
+struct DownlinkCommand {
+  DownlinkType type = DownlinkType::kQuery;
+  std::uint8_t target = 0;       ///< tag id (Ack/RateAssign/Poll/Sleep)
+  std::uint16_t frame_slots = 0; ///< Query
+  std::uint8_t rate_code = 0;    ///< RateAssign: index into the rate table
+  std::uint8_t coding_code = 0;
+};
+
+/// Tag protocol states (RFID-inventory-like).
+enum class TagState : std::uint8_t {
+  kReady,        ///< listening; will join the next Query
+  kArbitrating,  ///< picked a slot in the open frame, counting down
+  kReplied,      ///< sent its id this slot; awaiting Ack
+  kInventoried,  ///< acknowledged; participates in TDMA polls
+  kAsleep,
+};
+
+[[nodiscard]] inline std::string to_string(TagState s) {
+  switch (s) {
+    case TagState::kReady: return "ready";
+    case TagState::kArbitrating: return "arbitrating";
+    case TagState::kReplied: return "replied";
+    case TagState::kInventoried: return "inventoried";
+    case TagState::kAsleep: return "asleep";
+  }
+  return "?";
+}
+
+/// Tag-side state machine: consumes downlink commands, produces uplink
+/// intents (reply-with-id this slot / send data when polled).
+class TagProtocol {
+ public:
+  TagProtocol(std::uint8_t id, Rng& rng) : id_(id), rng_(&rng) {}
+
+  struct Reaction {
+    bool replies_with_id = false;  ///< transmits its id in this slot
+    bool sends_data = false;       ///< transmits a data frame (was polled)
+  };
+
+  Reaction on_command(const DownlinkCommand& cmd) {
+    Reaction r;
+    switch (cmd.type) {
+      case DownlinkType::kQuery:
+        if (state_ == TagState::kReady || state_ == TagState::kArbitrating ||
+            state_ == TagState::kReplied) {
+          RT_ENSURE(cmd.frame_slots >= 1, "Query must open at least one slot");
+          countdown_ = static_cast<int>(rng_->uniform_int(0, cmd.frame_slots - 1));
+          state_ = TagState::kArbitrating;
+          if (countdown_ == 0) {
+            state_ = TagState::kReplied;
+            r.replies_with_id = true;
+          }
+        }
+        break;
+      case DownlinkType::kQueryRep:
+        if (state_ == TagState::kArbitrating) {
+          if (--countdown_ == 0) {
+            state_ = TagState::kReplied;
+            r.replies_with_id = true;
+          }
+        } else if (state_ == TagState::kReplied) {
+          // Not acknowledged (collision or loss): rejoin the next frame.
+          state_ = TagState::kReady;
+        }
+        break;
+      case DownlinkType::kAck:
+        if (state_ == TagState::kReplied && cmd.target == id_) state_ = TagState::kInventoried;
+        break;
+      case DownlinkType::kRateAssign:
+        if (cmd.target == id_ && state_ == TagState::kInventoried) {
+          rate_code_ = cmd.rate_code;
+          coding_code_ = cmd.coding_code;
+        }
+        break;
+      case DownlinkType::kPoll:
+        if (cmd.target == id_ && state_ == TagState::kInventoried) r.sends_data = true;
+        break;
+      case DownlinkType::kSleep:
+        if (cmd.target == id_) state_ = TagState::kAsleep;
+        break;
+    }
+    return r;
+  }
+
+  [[nodiscard]] TagState state() const { return state_; }
+  [[nodiscard]] std::uint8_t id() const { return id_; }
+  [[nodiscard]] std::uint8_t rate_code() const { return rate_code_; }
+  [[nodiscard]] std::uint8_t coding_code() const { return coding_code_; }
+
+ private:
+  std::uint8_t id_;
+  Rng* rng_;
+  TagState state_ = TagState::kReady;
+  int countdown_ = 0;
+  std::uint8_t rate_code_ = 0;
+  std::uint8_t coding_code_ = 0;
+};
+
+}  // namespace rt::mac

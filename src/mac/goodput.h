@@ -1,0 +1,119 @@
+// Goodput model: expected delivered data rate for a (rate, coding) option
+// at a given SNR under stop-and-wait ARQ.
+//
+// BER model: raw BER follows a complementary-error-function waterfall
+// calibrated so BER = 1% exactly at the option's demodulation threshold
+// (the paper's reliability criterion). Reed-Solomon block failure is the
+// binomial tail beyond the correction radius; a packet retransmits until
+// all its blocks decode (stop-and-wait, section 7.3). The same model can
+// be built from measured BER curves instead (from_measurements), which the
+// coding-gain bench does.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "common/units.h"
+#include "mac/rate_table.h"
+
+namespace rt::mac {
+
+/// Raw BER at `snr_db` for a scheme whose 1%-BER threshold is
+/// `threshold_db`: 0.5 erfc(k 10^((snr-th)/20)), k = erfc^-1(0.02).
+[[nodiscard]] inline double waterfall_ber(double snr_db, double threshold_db) {
+  constexpr double k = 1.6450;  // erfc(k) ~= 0.02
+  const double margin = std::pow(10.0, (snr_db - threshold_db) / 20.0);
+  return 0.5 * std::erfc(k * margin);
+}
+
+class GoodputModel {
+ public:
+  GoodputModel() = default;
+
+  /// Overrides the analytic waterfall with measured (snr_db, ber) points
+  /// for one option name; linear interpolation in log-BER, clamped ends.
+  void add_measurements(const std::string& option_name,
+                        std::vector<std::pair<double, double>> snr_ber) {
+    std::sort(snr_ber.begin(), snr_ber.end());
+    measured_[option_name] = std::move(snr_ber);
+  }
+
+  [[nodiscard]] double ber(const RateOption& option, double snr_db) const {
+    const auto it = measured_.find(option.name);
+    if (it == measured_.end() || it->second.empty())
+      return waterfall_ber(snr_db, option.threshold_db);
+    const auto& pts = it->second;
+    if (snr_db <= pts.front().first) return pts.front().second;
+    if (snr_db >= pts.back().first) return pts.back().second;
+    for (std::size_t i = 1; i < pts.size(); ++i) {
+      if (snr_db > pts[i].first) continue;
+      const auto [s0, b0] = pts[i - 1];
+      const auto [s1, b1] = pts[i];
+      const double t = (snr_db - s0) / (s1 - s0);
+      const double lb0 = std::log10(std::max(b0, 1e-12));
+      const double lb1 = std::log10(std::max(b1, 1e-12));
+      return std::pow(10.0, lb0 + t * (lb1 - lb0));
+    }
+    return pts.back().second;
+  }
+
+  /// Probability one RS block decodes (uncoded: all bits correct).
+  [[nodiscard]] double block_success(const RateOption& option, double snr_db) const {
+    const double p_bit = ber(option, snr_db);
+    if (option.rs_n == 0) return 1.0;  // handled at packet level
+    const double p_sym = 1.0 - std::pow(1.0 - p_bit, 8.0);
+    const std::size_t t = (option.rs_n - option.rs_k) / 2;
+    // Binomial tail: P(errors <= t) over n symbols.
+    double p_ok = 0.0;
+    double log_comb = 0.0;  // log C(n, e) built incrementally
+    for (std::size_t e = 0; e <= t; ++e) {
+      if (e > 0)
+        log_comb += std::log(static_cast<double>(option.rs_n - e + 1)) -
+                    std::log(static_cast<double>(e));
+      const double log_p = log_comb + static_cast<double>(e) * std::log(std::max(p_sym, 1e-300)) +
+                           static_cast<double>(option.rs_n - e) * std::log1p(-p_sym);
+      p_ok += std::exp(log_p);
+    }
+    return std::min(1.0, p_ok);
+  }
+
+  /// Packet delivery probability for `payload_bytes` of data.
+  [[nodiscard]] double packet_success(const RateOption& option, double snr_db,
+                                      std::size_t payload_bytes) const {
+    if (option.rs_n == 0) {
+      const double p_bit = ber(option, snr_db);
+      return std::pow(1.0 - p_bit, static_cast<double>(payload_bytes) * 8.0);
+    }
+    const std::size_t blocks = (payload_bytes + option.rs_k - 1) / option.rs_k;
+    return std::pow(block_success(option, snr_db), static_cast<double>(blocks));
+  }
+
+  /// Expected goodput under stop-and-wait: effective rate x delivery
+  /// probability (each failure costs one full retransmission).
+  [[nodiscard]] double goodput_bps(const RateOption& option, double snr_db,
+                                   std::size_t payload_bytes = 128) const {
+    return option.effective_rate_bps() * packet_success(option, snr_db, payload_bytes);
+  }
+
+  /// Best option in `table` for the SNR by expected goodput.
+  [[nodiscard]] const RateOption& best_option(const RateTable& table, double snr_db,
+                                              std::size_t payload_bytes = 128) const {
+    const RateOption* best = &table.all().front();
+    double best_g = -1.0;
+    for (const auto& o : table.all()) {
+      const double g = goodput_bps(o, snr_db, payload_bytes);
+      if (g > best_g) {
+        best_g = g;
+        best = &o;
+      }
+    }
+    return *best;
+  }
+
+ private:
+  std::map<std::string, std::vector<std::pair<double, double>>> measured_;
+};
+
+}  // namespace rt::mac

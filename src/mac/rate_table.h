@@ -1,0 +1,87 @@
+// Rate/coding options and the SNR-indexed adaptation table.
+//
+// Section 4.4: the reader profiles a database mapping uplink SNR to the
+// best (bit rate, coding rate) pair and piggybacks the assignment on the
+// downlink. The default table uses the paper's operating points (Tab. 3 +
+// Fig. 18a) with Reed-Solomon coding choices from the Fig. 18b study.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "phy/params.h"
+
+namespace rt::mac {
+
+struct RateOption {
+  std::string name;
+  phy::PhyParams phy;
+  double raw_rate_bps = 0.0;
+  double threshold_db = 0.0;  ///< SNR at ~1% raw BER
+  std::size_t rs_n = 0;       ///< 0 = uncoded
+  std::size_t rs_k = 0;
+
+  [[nodiscard]] double code_rate() const {
+    return rs_n == 0 ? 1.0 : static_cast<double>(rs_k) / static_cast<double>(rs_n);
+  }
+  [[nodiscard]] double effective_rate_bps() const { return raw_rate_bps * code_rate(); }
+};
+
+class RateTable {
+ public:
+  explicit RateTable(std::vector<RateOption> options) : options_(std::move(options)) {
+    RT_ENSURE(!options_.empty(), "rate table cannot be empty");
+  }
+
+  /// The paper's operating points. Thresholds: Tab. 3 for 1/4/8/16 Kbps,
+  /// Fig. 18a for 32 Kbps; each rate also offered with RS(255,223) which
+  /// buys a few dB at 1/64... (n-k)/n throughput cost, and RS(255,127) for
+  /// deep-fade operation.
+  [[nodiscard]] static RateTable paper_default() {
+    std::vector<RateOption> opts;
+    const auto add = [&](const std::string& name, phy::PhyParams p, double rate, double th) {
+      opts.push_back({name, p, rate, th, 0, 0});
+      opts.push_back({name + "+RS(255,223)", p, rate, th - 3.0, 255, 223});
+      opts.push_back({name + "+RS(255,127)", p, rate, th - 7.0, 255, 127});
+    };
+    add("1kbps", phy::PhyParams::rate_1kbps(), 1000.0, 0.0);
+    add("4kbps", phy::PhyParams::rate_4kbps(), 4000.0, 20.0);
+    add("8kbps", phy::PhyParams::rate_8kbps(), 8000.0, 28.0);
+    add("16kbps", phy::PhyParams::rate_16kbps(), 16000.0, 33.0);
+    add("32kbps", phy::PhyParams::rate_32kbps(), 32000.0, 55.0);
+    return RateTable(std::move(opts));
+  }
+
+  /// Highest-effective-rate option whose threshold the SNR clears; falls
+  /// back to the most robust option when none does.
+  [[nodiscard]] const RateOption& select(double snr_db) const {
+    const RateOption* best = nullptr;
+    const RateOption* most_robust = &options_.front();
+    for (const auto& o : options_) {
+      if (o.threshold_db < most_robust->threshold_db) most_robust = &o;
+      if (snr_db < o.threshold_db) continue;
+      if (!best || o.effective_rate_bps() > best->effective_rate_bps()) best = &o;
+    }
+    return best ? *best : *most_robust;
+  }
+
+  /// The lowest-rate option every tag can use (the Fig. 18c baseline
+  /// assigns this to the whole network).
+  [[nodiscard]] const RateOption& most_robust() const {
+    const RateOption* r = &options_.front();
+    for (const auto& o : options_)
+      if (o.threshold_db < r->threshold_db ||
+          (o.threshold_db == r->threshold_db &&
+           o.effective_rate_bps() < r->effective_rate_bps()))
+        r = &o;
+    return *r;
+  }
+
+  [[nodiscard]] const std::vector<RateOption>& all() const { return options_; }
+
+ private:
+  std::vector<RateOption> options_;
+};
+
+}  // namespace rt::mac

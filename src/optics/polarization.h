@@ -1,0 +1,77 @@
+// Linear-polarization algebra for the PQAM channel model.
+//
+// Paper section 4.2.1: light leaving an LCM pixel is linearly polarized at
+// the back-polarizer angle theta_t (charged) or theta_t + 90deg
+// (discharged); a receiver behind a polarizer at theta_r sees, by Malus's
+// law, intensity I0 cos^2(dtheta). A polarization-differential (PDR)
+// receiver pair reports I0 cos(2 dtheta), which is the channel coefficient
+// h_tr = cos 2(theta_t - theta_r) the whole PQAM construction builds on.
+//
+// The key representation trick (section 4.2.3): with one PDR pair at 0deg
+// and one at 45deg, a transmitter polarized at angle theta contributes
+// exp(j 2 theta) to the complex receiver sample -- I-LCMs (0deg) land on
+// the real axis, Q-LCMs (45deg) on the imaginary axis, and a physical roll
+// of dtheta rotates the constellation by exactly 2 dtheta.
+#pragma once
+
+#include <complex>
+
+#include "common/units.h"
+
+namespace rt::optics {
+
+using Complex = std::complex<double>;
+
+/// Partially linearly polarized light: total intensity, polarization angle
+/// of the polarized component (radians), and the polarized fraction
+/// (0 = unpolarized ambient light, 1 = ideal polarizer output).
+struct LightState {
+  double intensity = 0.0;
+  double angle_rad = 0.0;
+  double polarized_fraction = 1.0;
+};
+
+/// Malus's law: transmitted intensity of `in` through an ideal polarizer at
+/// `polarizer_angle_rad`. The unpolarized component passes at 1/2.
+[[nodiscard]] inline double malus_intensity(const LightState& in, double polarizer_angle_rad) {
+  const double d = in.angle_rad - polarizer_angle_rad;
+  const double polarized = in.intensity * in.polarized_fraction * std::cos(d) * std::cos(d);
+  const double unpolarized = in.intensity * (1.0 - in.polarized_fraction) * 0.5;
+  return polarized + unpolarized;
+}
+
+/// Passes light through an ideal polarizer, returning the new (fully
+/// polarized) state.
+[[nodiscard]] inline LightState polarize(const LightState& in, double polarizer_angle_rad) {
+  return {malus_intensity(in, polarizer_angle_rad), polarizer_angle_rad, 1.0};
+}
+
+/// PQAM channel coefficient between a transmit polarization angle and a
+/// polarization-differential receiver: h = cos 2(theta_t - theta_r).
+[[nodiscard]] inline double channel_coefficient(double theta_t_rad, double theta_r_rad) {
+  return std::cos(2.0 * (theta_t_rad - theta_r_rad));
+}
+
+/// Complex receiver response of the two-PDR reader (pairs at 0deg and
+/// 45deg) to fully polarized light at `theta_rad` with unit intensity:
+/// cos(2 theta) + j sin(2 theta) = exp(j 2 theta).
+[[nodiscard]] inline Complex pdr_response(double theta_rad) {
+  return std::polar(1.0, 2.0 * theta_rad);
+}
+
+/// Constellation rotation produced by a physical roll misalignment:
+/// exp(j 2 droll). Multiplying every received sample by this models the
+/// tag being rotated by `roll_rad` about the optical axis.
+[[nodiscard]] inline Complex roll_rotation(double roll_rad) {
+  return std::polar(1.0, 2.0 * roll_rad);
+}
+
+/// Orthogonality check used by tests and parameter validation: two
+/// transmitter groups are an orthogonal PQAM basis iff their polarization
+/// angles differ by 45deg (mod 90deg).
+[[nodiscard]] inline double basis_inner_product(double theta_a_rad, double theta_b_rad) {
+  return std::cos(2.0 * theta_a_rad) * std::cos(2.0 * theta_b_rad) +
+         std::sin(2.0 * theta_a_rad) * std::sin(2.0 * theta_b_rad);
+}
+
+}  // namespace rt::optics

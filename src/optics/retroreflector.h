@@ -1,0 +1,33 @@
+// Retroreflector substrate model (3M 8912-style retroreflective fabric).
+//
+// The retroreflector returns incident light toward its source within a
+// narrow cone, which is what lets a sub-mW tag reach metres of range. We
+// model its contribution as a gain applied once in the link budget plus a
+// yaw-dependent efficiency roll-off; the sharp angular cut-off is why the
+// reader must sit near the illumination axis.
+#pragma once
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace rt::optics {
+
+struct Retroreflector {
+  double area_cm2 = 66.0;        ///< prototype: 66 cm^2 of fabric
+  double efficiency = 0.7;       ///< fraction of incident light returned on-axis
+  double cone_half_angle_deg = 1.5;  ///< observation-angle half width
+
+  /// Relative returned intensity when the tag surface is yawed by
+  /// `yaw_rad` from squarely facing the reader. Projection shrinks the
+  /// effective area; microprism efficiency also degrades with entrance
+  /// angle (modelled as an additional cosine power).
+  [[nodiscard]] double gain(double yaw_rad = 0.0) const {
+    const double c = std::cos(yaw_rad);
+    RT_ENSURE(c > 1e-6, "yaw must be within +-90deg");
+    return efficiency * area_cm2 * c * c;  // area projection both ways
+  }
+};
+
+}  // namespace rt::optics

@@ -1,0 +1,176 @@
+// Stokes-vector / Mueller-matrix polarization calculus.
+//
+// The PHY fast path models polarization with the scalar channel
+// coefficient cos 2(theta_t - theta_r). This module provides the full
+// incoherent-light formalism -- Stokes 4-vectors and Mueller matrices for
+// polarizers, rotators, partial depolarizers and retarders -- used to
+// *derive and verify* that shortcut (tests pin the two against each
+// other), and available for extensions such as birefringent-film tags
+// (PolarTag-style, see related work) or ellipticity studies of the LC
+// mid-transition state.
+//
+// Conventions: S = (I, Q, U, V); linear polarization angle theta has
+// Q = I cos 2theta, U = I sin 2theta; V is circular (unused by the LCM
+// chain but carried for completeness).
+#pragma once
+
+#include <array>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace rt::optics {
+
+struct Stokes {
+  double i = 0.0;
+  double q = 0.0;
+  double u = 0.0;
+  double v = 0.0;
+
+  /// Fully linearly polarized light of the given intensity and angle.
+  [[nodiscard]] static Stokes linear(double intensity, double angle_rad) {
+    RT_ENSURE(intensity >= 0.0, "intensity cannot be negative");
+    return {intensity, intensity * std::cos(2.0 * angle_rad),
+            intensity * std::sin(2.0 * angle_rad), 0.0};
+  }
+
+  /// Unpolarized light.
+  [[nodiscard]] static Stokes unpolarized(double intensity) {
+    RT_ENSURE(intensity >= 0.0, "intensity cannot be negative");
+    return {intensity, 0.0, 0.0, 0.0};
+  }
+
+  [[nodiscard]] double degree_of_polarization() const {
+    if (i <= 0.0) return 0.0;
+    return std::sqrt(q * q + u * u + v * v) / i;
+  }
+
+  /// Angle of the linear-polarized component.
+  [[nodiscard]] double linear_angle_rad() const { return 0.5 * std::atan2(u, q); }
+
+  [[nodiscard]] Stokes operator+(const Stokes& o) const {
+    return {i + o.i, q + o.q, u + o.u, v + o.v};
+  }
+  [[nodiscard]] Stokes operator*(double s) const { return {i * s, q * s, u * s, v * s}; }
+};
+
+/// 4x4 Mueller matrix.
+class Mueller {
+ public:
+  Mueller() { m_.fill({0.0, 0.0, 0.0, 0.0}); }
+
+  [[nodiscard]] static Mueller identity() {
+    Mueller m;
+    for (int k = 0; k < 4; ++k) m.m_[k][k] = 1.0;
+    return m;
+  }
+
+  /// Ideal linear polarizer at `angle_rad`.
+  [[nodiscard]] static Mueller polarizer(double angle_rad) {
+    const double c = std::cos(2.0 * angle_rad);
+    const double s = std::sin(2.0 * angle_rad);
+    Mueller m;
+    m.m_ = {{{0.5, 0.5 * c, 0.5 * s, 0.0},
+             {0.5 * c, 0.5 * c * c, 0.5 * c * s, 0.0},
+             {0.5 * s, 0.5 * c * s, 0.5 * s * s, 0.0},
+             {0.0, 0.0, 0.0, 0.0}}};
+    return m;
+  }
+
+  /// Optical rotator by `angle_rad` (the fully-relaxed twisted-nematic
+  /// cell is a 90deg rotator).
+  [[nodiscard]] static Mueller rotator(double angle_rad) {
+    const double c = std::cos(2.0 * angle_rad);
+    const double s = std::sin(2.0 * angle_rad);
+    Mueller m = identity();
+    m.m_[1] = {0.0, c, -s, 0.0};
+    m.m_[2] = {0.0, s, c, 0.0};
+    return m;
+  }
+
+  /// Linear retarder with retardance delta and fast axis at `axis_rad`
+  /// (quarter-wave plate: delta = pi/2) -- for birefringent-film
+  /// extensions.
+  [[nodiscard]] static Mueller retarder(double delta_rad, double axis_rad) {
+    const double c = std::cos(2.0 * axis_rad);
+    const double s = std::sin(2.0 * axis_rad);
+    const double cd = std::cos(delta_rad);
+    const double sd = std::sin(delta_rad);
+    Mueller m = identity();
+    m.m_[1] = {0.0, c * c + s * s * cd, c * s * (1.0 - cd), -s * sd};
+    m.m_[2] = {0.0, c * s * (1.0 - cd), s * s + c * c * cd, c * sd};
+    m.m_[3] = {0.0, s * sd, -c * sd, cd};
+    return m;
+  }
+
+  /// Ideal partial depolarizer: keeps the polarized components scaled by
+  /// `keep` in [0, 1].
+  [[nodiscard]] static Mueller depolarizer(double keep) {
+    RT_ENSURE(keep >= 0.0 && keep <= 1.0, "keep fraction must be in [0, 1]");
+    Mueller m = identity();
+    for (int k = 1; k < 4; ++k) m.m_[k][k] = keep;
+    return m;
+  }
+
+  /// The mid-transition LC cell as an incoherent mixture: fraction c acts
+  /// as identity (charged, no rotation), fraction (1-c) as a 90deg
+  /// rotator -- the physical basis of the pixel model's (2c - 1) swing.
+  [[nodiscard]] static Mueller lc_cell(double alignment_c) {
+    RT_ENSURE(alignment_c >= 0.0 && alignment_c <= 1.0, "alignment must be in [0, 1]");
+    return identity() * alignment_c + rotator(rt::deg_to_rad(90.0)) * (1.0 - alignment_c);
+  }
+
+  [[nodiscard]] Stokes operator*(const Stokes& s) const {
+    const std::array<double, 4> in = {s.i, s.q, s.u, s.v};
+    std::array<double, 4> out{};
+    for (int r = 0; r < 4; ++r)
+      for (int c = 0; c < 4; ++c) out[r] += m_[r][c] * in[c];
+    return {out[0], out[1], out[2], out[3]};
+  }
+
+  [[nodiscard]] Mueller operator*(const Mueller& o) const {
+    Mueller out;
+    for (int r = 0; r < 4; ++r)
+      for (int c = 0; c < 4; ++c)
+        for (int k = 0; k < 4; ++k) out.m_[r][c] += m_[r][k] * o.m_[k][c];
+    return out;
+  }
+
+  [[nodiscard]] Mueller operator*(double s) const {
+    Mueller out = *this;
+    for (auto& row : out.m_)
+      for (auto& v : row) v *= s;
+    return out;
+  }
+
+  [[nodiscard]] Mueller operator+(const Mueller& o) const {
+    Mueller out = *this;
+    for (int r = 0; r < 4; ++r)
+      for (int c = 0; c < 4; ++c) out.m_[r][c] += o.m_[r][c];
+    return out;
+  }
+
+  [[nodiscard]] double at(int r, int c) const {
+    RT_ENSURE(r >= 0 && r < 4 && c >= 0 && c < 4, "index out of range");
+    return m_[r][c];
+  }
+
+ private:
+  std::array<std::array<double, 4>, 4> m_;
+};
+
+/// Detected intensity behind a polarizer at `angle_rad` -- what one
+/// photodiode of the reader sees.
+[[nodiscard]] inline double detect_through_polarizer(const Stokes& s, double angle_rad) {
+  return (Mueller::polarizer(angle_rad) * s).i;
+}
+
+/// Polarization-differential (PDR) reading at receiver angle theta_r:
+/// detect(theta_r) - detect(theta_r + 90deg) = Q' in the rotated frame.
+[[nodiscard]] inline double pdr_reading(const Stokes& s, double theta_r_rad) {
+  return detect_through_polarizer(s, theta_r_rad) -
+         detect_through_polarizer(s, theta_r_rad + rt::deg_to_rad(90.0));
+}
+
+}  // namespace rt::optics

@@ -1,0 +1,105 @@
+// PQAM constellation mapping: bits <-> per-axis drive levels <-> complex
+// symbols.
+//
+// Each polarization axis carries an amplitude level in {0 .. sqrt(P)-1}
+// realized by the binary-weighted pixels; Gray labelling keeps adjacent
+// levels one bit apart. The canonical complex symbol places the normalized
+// I level on the real axis and the Q level on the imaginary axis.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/error.h"
+#include "signal/gray.h"
+
+namespace rt::phy {
+
+using Complex = std::complex<double>;
+
+/// One PQAM symbol as drive levels (Q level is -1 when the Q channel is
+/// unused by the scheme, e.g. OOK/PAM baselines).
+struct SymbolLevels {
+  int level_i = 0;
+  int level_q = 0;
+
+  friend bool operator==(const SymbolLevels&, const SymbolLevels&) = default;
+};
+
+class Constellation {
+ public:
+  Constellation(int bits_per_axis, bool use_q_channel)
+      : bits_(bits_per_axis), use_q_(use_q_channel) {
+    RT_ENSURE(bits_ >= 1 && bits_ <= 4, "bits per axis must be in [1, 4]");
+  }
+
+  [[nodiscard]] int bits_per_axis() const { return bits_; }
+  [[nodiscard]] int levels_per_axis() const { return 1 << bits_; }
+  [[nodiscard]] int bits_per_symbol() const { return use_q_ ? 2 * bits_ : bits_; }
+  [[nodiscard]] bool uses_q() const { return use_q_; }
+
+  /// All levels a symbol may take (Q fixed to -1 without the Q channel).
+  [[nodiscard]] std::vector<SymbolLevels> alphabet() const {
+    std::vector<SymbolLevels> out;
+    for (int i = 0; i < levels_per_axis(); ++i) {
+      if (use_q_) {
+        for (int q = 0; q < levels_per_axis(); ++q) out.push_back({i, q});
+      } else {
+        out.push_back({i, -1});
+      }
+    }
+    return out;
+  }
+
+  /// Maps `bits_per_symbol()` bits (MSB first: I bits then Q bits) to
+  /// levels via Gray coding.
+  [[nodiscard]] SymbolLevels map(std::span<const std::uint8_t> bits) const {
+    RT_ENSURE(bits.size() == static_cast<std::size_t>(bits_per_symbol()),
+              "wrong number of bits for one symbol");
+    const auto to_level = [&](std::size_t offset) {
+      std::uint32_t v = 0;
+      for (int b = 0; b < bits_; ++b) v = (v << 1) | bits[offset + static_cast<std::size_t>(b)];
+      return static_cast<int>(sig::gray_encode(v));
+    };
+    SymbolLevels s;
+    s.level_i = to_level(0);
+    s.level_q = use_q_ ? to_level(static_cast<std::size_t>(bits_)) : -1;
+    return s;
+  }
+
+  /// Inverse of map().
+  [[nodiscard]] std::vector<std::uint8_t> unmap(const SymbolLevels& s) const {
+    std::vector<std::uint8_t> bits;
+    bits.reserve(static_cast<std::size_t>(bits_per_symbol()));
+    const auto push_level = [&](int level) {
+      RT_ENSURE(level >= 0 && level < levels_per_axis(), "level out of range");
+      const std::uint32_t v = sig::gray_decode(static_cast<std::uint32_t>(level));
+      for (int b = bits_ - 1; b >= 0; --b)
+        bits.push_back(static_cast<std::uint8_t>((v >> b) & 1U));
+    };
+    push_level(s.level_i);
+    if (use_q_) push_level(s.level_q);
+    return bits;
+  }
+
+  /// Normalized drive fraction rho in [0, 1] for a level.
+  [[nodiscard]] double rho(int level) const {
+    if (level < 0) return 0.0;
+    RT_ENSURE(level < levels_per_axis(), "level out of range");
+    if (levels_per_axis() == 1) return static_cast<double>(level);
+    return static_cast<double>(level) / static_cast<double>(levels_per_axis() - 1);
+  }
+
+  /// Canonical complex constellation point (rho_i, rho_q).
+  [[nodiscard]] Complex point(const SymbolLevels& s) const {
+    return {rho(s.level_i), use_q_ ? rho(s.level_q) : 0.0};
+  }
+
+ private:
+  int bits_;
+  bool use_q_;
+};
+
+}  // namespace rt::phy

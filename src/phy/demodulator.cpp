@@ -1,0 +1,103 @@
+#include "phy/demodulator.h"
+
+#include "common/error.h"
+
+namespace rt::phy {
+
+Demodulator::Demodulator(const PhyParams& params, OfflineModel offline_model)
+    : p_(params),
+      offline_(std::move(offline_model)),
+      preamble_(params),
+      constellation_(params.bits_per_axis, params.use_q_channel) {
+  p_.validate();
+}
+
+std::vector<unsigned> Demodulator::initial_payload_histories(const PhyParams& p,
+                                                             const FrameLayout& layout) {
+  const int l = p.dsm_order;
+  const int modules = p.use_q_channel ? 2 * l : l;
+  const unsigned mask = p.history_mask();
+  const int guard_cycles = layout.guard_cycles();
+  // One history per pixel (modules x bits_per_axis); training fires every
+  // pixel of a module at once, so all pixels of a module start identical.
+  std::vector<unsigned> hist(static_cast<std::size_t>(modules) *
+                                 static_cast<std::size_t>(p.bits_per_axis),
+                             0);
+  for (int m = 0; m < modules; ++m) {
+    for (int wb = 0; wb < p.bits_per_axis; ++wb) {
+      unsigned h = 0;
+      // Looking back k cycles (W each) from the module's first payload
+      // firing: k <= guard_cycles lands in the idle guard; then the
+      // pixel-calibration rounds (this pixel fired only in its own round);
+      // then training round 2L - remainder, fired iff module_global <=
+      // that round (lower-triangular schedule).
+      for (int k = 1; k <= p.training_memory; ++k) {
+        bool fired = false;
+        if (k > guard_cycles) {
+          int back = k - guard_cycles;  // cycles into pixel rounds
+          if (back <= layout.pixel_rounds) {
+            const int pixel_round = layout.pixel_rounds - back;
+            fired = pixel_round == wb;
+          } else {
+            back -= layout.pixel_rounds;  // through the inner guard (if any)
+            if (layout.pixel_rounds > 0) {
+              if (back <= guard_cycles) {
+                fired = false;
+              } else {
+                const int round = layout.training_rounds - (back - guard_cycles);
+                fired = round >= 0 && round < layout.training_rounds && m <= round;
+              }
+            } else {
+              const int round = layout.training_rounds - back;
+              fired = round >= 0 && round < layout.training_rounds && m <= round;
+            }
+          }
+        }
+        if (fired) h |= 1U << (k - 1);
+      }
+      hist[static_cast<std::size_t>(m) * p.bits_per_axis + wb] = h & mask;
+    }
+  }
+  return hist;
+}
+
+DemodResult Demodulator::demodulate(const sig::IqWaveform& rx, int payload_slots,
+                                    const DemodOptions& options) const {
+  RT_ENSURE(payload_slots >= 1, "need at least one payload slot");
+  DemodResult out;
+
+  const auto det = preamble_.detect(rx, options.search_limit);
+  out.detection = det;
+  out.preamble_found = det.found;
+  if (!det.found) return out;
+
+  const auto corrected = preamble_.correct(rx, det);
+  const auto layout = FrameLayout::for_params(p_, payload_slots);
+  const std::size_t frame_start = det.start_sample;
+  const std::size_t t_samps = p_.samples_per_slot();
+
+  std::optional<PulseBank> trained;
+  const PulseBank* bank = options.oracle;
+  if (options.online_training) {
+    trained = OnlineTrainer::train(p_, offline_, layout, corrected, frame_start);
+    bank = &*trained;
+  }
+  RT_ENSURE(bank != nullptr, "no pulse bank: enable online training or provide an oracle");
+
+  const DfeEqualizer eq(p_, *bank);
+  const auto histories = initial_payload_histories(p_, layout);
+  const std::size_t payload_begin =
+      frame_start + static_cast<std::size_t>(layout.payload_begin()) * t_samps;
+  const auto eq_result = eq.equalize(corrected, payload_begin, payload_slots, histories);
+  out.equalizer_metric = eq_result.final_metric;
+
+  out.bits.reserve(static_cast<std::size_t>(payload_slots) * constellation_.bits_per_symbol());
+  for (const auto& sym : eq_result.symbols) {
+    const auto bits = constellation_.unmap(sym);
+    out.bits.insert(out.bits.end(), bits.begin(), bits.end());
+  }
+  if (options.descramble) out.bits = scrambler_.apply(out.bits);
+  return out;
+}
+
+}  // namespace rt::phy

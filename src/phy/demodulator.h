@@ -1,0 +1,56 @@
+// End-to-end PHY receiver: preamble sync + rotation correction, per-packet
+// online channel training, K-branch DFE equalization, symbol de-mapping
+// and descrambling.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "phy/equalizer.h"
+#include "phy/modulator.h"
+#include "phy/preamble.h"
+#include "phy/training.h"
+
+namespace rt::phy {
+
+struct DemodOptions {
+  bool descramble = true;
+  bool online_training = true;  ///< false = use `oracle` (or fail if absent)
+  const PulseBank* oracle = nullptr;  ///< bypasses training when set
+  std::size_t search_limit = 0;       ///< preamble search bound (0 = whole waveform)
+};
+
+struct DemodResult {
+  bool preamble_found = false;
+  std::vector<std::uint8_t> bits;  ///< recovered payload bits (padded length)
+  PreambleDetection detection;
+  double equalizer_metric = 0.0;
+};
+
+class Demodulator {
+ public:
+  Demodulator(const PhyParams& params, OfflineModel offline_model);
+
+  /// Demodulates one packet of `payload_slots` slots from `rx`.
+  [[nodiscard]] DemodResult demodulate(const sig::IqWaveform& rx, int payload_slots,
+                                       const DemodOptions& options = {}) const;
+
+  /// Module firing histories at the first payload slot, derived from the
+  /// frame layout (training field then guard).
+  [[nodiscard]] static std::vector<unsigned> initial_payload_histories(const PhyParams& p,
+                                                                       const FrameLayout& layout);
+
+  [[nodiscard]] const PreambleProcessor& preamble() const { return preamble_; }
+  [[nodiscard]] const PhyParams& params() const { return p_; }
+  [[nodiscard]] const OfflineModel& offline_model() const { return offline_; }
+
+ private:
+  PhyParams p_;
+  OfflineModel offline_;
+  PreambleProcessor preamble_;
+  Constellation constellation_;
+  sig::Scrambler scrambler_{};
+};
+
+}  // namespace rt::phy

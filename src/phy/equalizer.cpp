@@ -1,0 +1,216 @@
+#include "phy/equalizer.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+
+#include "common/error.h"
+
+namespace rt::phy {
+
+namespace {
+
+// The pulse bank stores per-module templates keyed by
+// (V-bit pixel history << 1) | fired, measured at full level with uniform
+// pixel history. Because pixel responses are proportional to area (paper
+// footnote 6), a module's waveform for an arbitrary level and per-pixel
+// histories decomposes as
+//   sum_{weight pixels b} area_b * template[module][(hist_b << 1) | fired_b]
+// with fired_b the level's weight bit. Unfired pixels with recent history
+// still contribute their discharge tails (the fired=0 templates) -- the
+// residue that would otherwise accumulate as an error floor for dense
+// constellations. The equalizer therefore tracks a V-bit history per
+// *pixel*.
+
+struct Branch {
+  double metric = 0.0;
+  std::vector<SymbolLevels> decisions;
+  std::vector<Complex> residual;    ///< upcoming window [nT, nT + W)
+  std::vector<unsigned> pixel_hist; ///< per-pixel V-bit firing history
+};
+
+/// Key identifying branches with identical future behaviour: the last
+/// (L - 1) decisions (whose pulses still overlap future slots) plus every
+/// pixel history.
+std::string merge_key(const Branch& b, int dsm_order) {
+  std::string key;
+  const std::size_t tail = std::min<std::size_t>(b.decisions.size(),
+                                                 static_cast<std::size_t>(dsm_order - 1));
+  for (std::size_t i = b.decisions.size() - tail; i < b.decisions.size(); ++i) {
+    key.push_back(static_cast<char>(b.decisions[i].level_i + 2));
+    key.push_back(static_cast<char>(b.decisions[i].level_q + 2));
+  }
+  key.push_back('|');
+  for (const auto h : b.pixel_hist) key.push_back(static_cast<char>(h));
+  return key;
+}
+
+}  // namespace
+
+DfeEqualizer::DfeEqualizer(const PhyParams& params, const PulseBank& bank)
+    : p_(params), bank_(bank), constellation_(params.bits_per_axis, params.use_q_channel) {
+  p_.validate();
+  const int expected_modules = p_.use_q_channel ? 2 * p_.dsm_order : p_.dsm_order;
+  RT_ENSURE(bank.modules() == expected_modules, "pulse bank module count mismatch");
+  RT_ENSURE(bank.entries() == p_.fingerprint_entries(), "pulse bank key-space mismatch");
+  RT_ENSURE(bank.pulse_len() == p_.samples_per_symbol(), "pulse bank template length mismatch");
+}
+
+EqualizerResult DfeEqualizer::equalize(const sig::IqWaveform& rx, std::size_t payload_begin,
+                                       int n_slots,
+                                       std::span<const unsigned> initial_histories) const {
+  RT_ENSURE(n_slots >= 1, "need at least one slot");
+  const int l = p_.dsm_order;
+  const int modules = p_.use_q_channel ? 2 * l : l;
+  const int bits = p_.bits_per_axis;
+  const std::size_t n_pixels = static_cast<std::size_t>(modules) * static_cast<std::size_t>(bits);
+  RT_ENSURE(initial_histories.size() == n_pixels,
+            "initial history count must equal the pixel count (modules x bits_per_axis)");
+  const std::size_t t_samps = p_.samples_per_slot();
+  const std::size_t w_samps = p_.samples_per_symbol();
+  const unsigned hist_mask = p_.history_mask();
+  const double area_denom = static_cast<double>((1 << bits) - 1);
+
+  // rx sample at absolute index, zero beyond the end.
+  const auto rx_at = [&](std::size_t idx) -> Complex {
+    return idx < rx.size() ? rx[idx] : Complex{};
+  };
+
+  // Module waveform terms for `level` given per-pixel histories: one
+  // area-weighted template per pixel whose (history, fired) key is
+  // non-zero -- including the tail terms of unfired pixels.
+  struct PixelTerm {
+    std::span<const Complex> tmpl;
+    Complex weight;  ///< area x calibrated pixel gain
+  };
+  const auto gather_terms = [&](int module_global, int level,
+                                std::span<const unsigned> pixel_hist,
+                                std::vector<PixelTerm>& out) {
+    const std::size_t base =
+        static_cast<std::size_t>(module_global) * static_cast<std::size_t>(bits);
+    for (int wb = 0; wb < bits; ++wb) {
+      const int weight_bit = bits - 1 - wb;  // wb 0 = largest pixel
+      const unsigned fired = (level > 0 && ((level >> weight_bit) & 1)) ? 1U : 0U;
+      const unsigned h = pixel_hist[base + static_cast<std::size_t>(wb)] & hist_mask;
+      const unsigned key = (h << 1) | fired;
+      if (key == 0) continue;
+      const double area = static_cast<double>(1 << weight_bit) / area_denom;
+      out.push_back({bank_.pulse(module_global, key),
+                     area * bank_.pixel_gain(module_global, wb)});
+    }
+  };
+
+  Branch seed;
+  seed.pixel_hist.assign(initial_histories.begin(), initial_histories.end());
+  seed.residual.resize(w_samps);
+  for (std::size_t k = 0; k < w_samps; ++k) seed.residual[k] = rx_at(payload_begin + k);
+  std::vector<Branch> branches = {std::move(seed)};
+
+  const auto alphabet = constellation_.alphabet();
+
+  struct Candidate {
+    std::size_t parent;
+    SymbolLevels sym;
+    double metric;
+  };
+
+  std::vector<PixelTerm> terms;
+
+  for (int n = 0; n < n_slots; ++n) {
+    if (!p_.slot_active(n)) {
+      // Basic-DSM rest slot: no firing to decide. Score the window energy
+      // (a correct past cancels to noise; a wrong decision leaves residual
+      // here), then slide every branch forward one slot.
+      for (auto& b : branches) {
+        for (std::size_t k = 0; k < t_samps; ++k) b.metric += std::norm(b.residual[k]);
+        for (std::size_t k = t_samps; k < w_samps; ++k) b.residual[k - t_samps] = b.residual[k];
+        const std::size_t next_window_begin =
+            payload_begin + (static_cast<std::size_t>(n) + 1) * t_samps + (w_samps - t_samps);
+        for (std::size_t k = 0; k < t_samps; ++k)
+          b.residual[w_samps - t_samps + k] = rx_at(next_window_begin + k);
+      }
+      continue;
+    }
+    const int m = p_.slot_module(n);
+    std::vector<Candidate> candidates;
+    candidates.reserve(branches.size() * alphabet.size());
+    for (std::size_t bi = 0; bi < branches.size(); ++bi) {
+      const auto& b = branches[bi];
+      for (const auto& sym : alphabet) {
+        terms.clear();
+        gather_terms(m, sym.level_i, b.pixel_hist, terms);
+        if (p_.use_q_channel) gather_terms(l + m, sym.level_q, b.pixel_hist, terms);
+        double score = 0.0;
+        for (std::size_t k = 0; k < t_samps; ++k) {
+          Complex e = b.residual[k];
+          for (const auto& t : terms) e -= t.weight * t.tmpl[k];
+          score += std::norm(e);
+        }
+        candidates.push_back({bi, sym, b.metric + score});
+      }
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& a, const Candidate& b) { return a.metric < b.metric; });
+
+    // Survivor selection: optionally merge identical trellis states first.
+    std::vector<Branch> next;
+    next.reserve(static_cast<std::size_t>(p_.equalizer_branches));
+    std::unordered_map<std::string, bool> seen_states;
+    for (const auto& c : candidates) {
+      if (next.size() >= static_cast<std::size_t>(p_.equalizer_branches)) break;
+      const auto& parent = branches[c.parent];
+      Branch nb;
+      nb.metric = c.metric;
+      nb.decisions = parent.decisions;
+      nb.decisions.push_back(c.sym);
+      nb.pixel_hist = parent.pixel_hist;
+      // Per-pixel history update for the cycled modules. Histories count
+      // in W-cycles; in basic DSM a firing period spans (L + rest) / L
+      // cycles, so the shift distance grows accordingly (the rest cycles
+      // are idle zeros).
+      const int hist_shifts = std::max(1, (p_.period_slots() + l - 1) / l);  // ceil: basic DSM periods exceed W
+      const auto update_hist = [&](int module_global, int level) {
+        const std::size_t base =
+            static_cast<std::size_t>(module_global) * static_cast<std::size_t>(bits);
+        for (int wb = 0; wb < bits; ++wb) {
+          const int weight_bit = bits - 1 - wb;
+          const unsigned fired = (level > 0 && ((level >> weight_bit) & 1)) ? 1U : 0U;
+          auto& h = nb.pixel_hist[base + static_cast<std::size_t>(wb)];
+          h = ((h << hist_shifts) | (fired << (hist_shifts - 1))) & hist_mask;
+        }
+      };
+      update_hist(m, c.sym.level_i);
+      if (p_.use_q_channel) update_hist(l + m, c.sym.level_q);
+      if (p_.merge_equalizer_states) {
+        const auto key = merge_key(nb, l);
+        if (seen_states.contains(key)) continue;  // a better-metric twin already survived
+        seen_states.emplace(key, true);
+      }
+      // Decision feedback: subtract the decided cycle's waveform over its
+      // full W span, then slide the window one slot forward.
+      terms.clear();
+      gather_terms(m, c.sym.level_i, parent.pixel_hist, terms);
+      if (p_.use_q_channel) gather_terms(l + m, c.sym.level_q, parent.pixel_hist, terms);
+      nb.residual.resize(w_samps);
+      for (std::size_t k = t_samps; k < w_samps; ++k) {
+        Complex e = parent.residual[k];
+        for (const auto& t : terms) e -= t.weight * t.tmpl[k];
+        nb.residual[k - t_samps] = e;
+      }
+      const std::size_t next_window_begin =
+          payload_begin + (static_cast<std::size_t>(n) + 1) * t_samps + (w_samps - t_samps);
+      for (std::size_t k = 0; k < t_samps; ++k)
+        nb.residual[w_samps - t_samps + k] = rx_at(next_window_begin + k);
+      next.push_back(std::move(nb));
+    }
+    branches = std::move(next);
+    RT_ENSURE(!branches.empty(), "equalizer lost all branches");
+  }
+
+  const auto best = std::min_element(
+      branches.begin(), branches.end(),
+      [](const Branch& a, const Branch& b) { return a.metric < b.metric; });
+  return {best->decisions, best->metric};
+}
+
+}  // namespace rt::phy

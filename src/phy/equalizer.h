@@ -1,0 +1,49 @@
+// K-branch decision-feedback equalizer for the DSM-PQAM ISI channel
+// (paper section 4.3.2, Fig. 10).
+//
+// DSM deliberately creates ISI spanning L symbols. The DFE keeps K
+// candidate decision prefixes ("branches"); per slot it expands every
+// branch by all P constellation points, scores each candidate on the first
+// T-window of the residual against the fingerprint templates, keeps the K
+// best, and subtracts the decided pulse (full W span) from each survivor's
+// residual. With state merging enabled and K >= the number of distinct
+// trellis states this becomes the Viterbi detector the paper cites as the
+// optimal-but-costly reference; K = 1 is the naive DFE of Fig. 17a.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "phy/constellation.h"
+#include "phy/params.h"
+#include "phy/pulse_model.h"
+#include "signal/waveform.h"
+
+namespace rt::phy {
+
+struct EqualizerResult {
+  std::vector<SymbolLevels> symbols;
+  double final_metric = 0.0;  ///< cumulative squared error of the winner
+};
+
+class DfeEqualizer {
+ public:
+  DfeEqualizer(const PhyParams& params, const PulseBank& bank);
+
+  /// Equalizes `n_slots` payload slots from `rx` starting at sample index
+  /// `payload_begin`. `initial_histories` holds the V-bit firing history
+  /// of each *pixel* (module-major: I modules 0..L-1 then Q modules, and
+  /// within a module the weight pixels MSB-first) at the first payload
+  /// slot.
+  [[nodiscard]] EqualizerResult equalize(const sig::IqWaveform& rx, std::size_t payload_begin,
+                                         int n_slots,
+                                         std::span<const unsigned> initial_histories) const;
+
+ private:
+  const PhyParams p_;
+  const PulseBank& bank_;
+  Constellation constellation_;
+};
+
+}  // namespace rt::phy

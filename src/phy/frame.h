@@ -1,0 +1,266 @@
+// PHY frame layout and the deterministic preamble / training-field
+// patterns shared by modulator and demodulator.
+//
+// Frame structure (all in units of the DSM slot T):
+//
+//   | preamble | guard | training field | guard | payload | tail |
+//
+// * Preamble (section 4.3.1): a fixed MLS-derived on/off pattern across
+//   both polarization channels, detected against an offline reference for
+//   sample-level sync and rotation regression.
+// * Training field (section 4.3.3): 2L rounds of W = L*T each; module m
+//   (global index, I group 0..L-1 then Q group L..2L-1) fires at its slot
+//   in every round r >= m (a lower-triangular pattern -- linearly
+//   independent across the 2L transmitters, and exercising multiple
+//   fingerprint histories). The receiver solves the per-module basis
+//   coefficients from this field by least squares.
+// * Guards of one DSM symbol let all pulses die out between sections.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "lcm/tag_array.h"
+#include "phy/params.h"
+#include "signal/mls.h"
+
+namespace rt::phy {
+
+/// Slot-indexed frame geometry for a packet with `payload_slots` slots.
+struct FrameLayout {
+  int preamble_slots = 0;
+  int guard_slots = 0;
+  int training_rounds = 0;  ///< 2L rounds, each dsm_order slots long
+  int pixel_rounds = 0;     ///< per-pixel calibration rounds (0 = disabled)
+  int payload_slots = 0;
+  int tail_slots = 0;
+  int dsm_order = 0;
+
+  [[nodiscard]] int preamble_begin() const { return 0; }
+  [[nodiscard]] int training_begin() const { return preamble_slots + guard_slots; }
+  [[nodiscard]] int training_slots() const { return training_rounds * dsm_order; }
+  /// First slot of the pixel-calibration rounds (after the main training's
+  /// guard, so the main online-training observation region stays pure).
+  [[nodiscard]] int pixel_begin() const {
+    return training_begin() + training_slots() + guard_slots;
+  }
+  [[nodiscard]] int pixel_slots() const { return pixel_rounds * dsm_order; }
+  [[nodiscard]] int payload_begin() const {
+    return pixel_begin() + pixel_slots() + (pixel_rounds > 0 ? guard_slots : 0);
+  }
+  [[nodiscard]] int total_slots() const { return payload_begin() + payload_slots + tail_slots; }
+
+  /// Idle cycles in each guard (guard_slots / dsm_order).
+  [[nodiscard]] int guard_cycles() const { return guard_slots / dsm_order; }
+
+  [[nodiscard]] static FrameLayout for_params(const PhyParams& p, int payload_slots) {
+    RT_ENSURE(payload_slots >= 0, "payload slot count cannot be negative");
+    FrameLayout f;
+    f.preamble_slots = p.preamble_slots;
+    // Guards must cover the fingerprint memory: V idle cycles make the
+    // known history at the start of the training field and the payload
+    // exactly representable.
+    f.guard_slots = std::max(1, p.training_memory) * p.dsm_order;
+    f.training_rounds = 2 * p.dsm_order;
+    f.pixel_rounds = p.pixel_calibration ? p.bits_per_axis : 0;
+    f.payload_slots = payload_slots;
+    f.tail_slots = p.dsm_order;
+    f.dsm_order = p.dsm_order;
+    return f;
+  }
+};
+
+/// The fixed preamble on/off pattern: one bit per slot and channel, drawn
+/// from an order-7 m-sequence (I channel) and a half-period-shifted copy
+/// (Q channel) so both axes carry energy with low cross-correlation.
+struct PreamblePattern {
+  std::vector<std::uint8_t> bits_i;
+  std::vector<std::uint8_t> bits_q;
+
+  [[nodiscard]] static PreamblePattern standard(int slots) {
+    RT_ENSURE(slots >= 1, "preamble needs at least one slot");
+    const auto seq = sig::mls(7);  // period 127
+    PreamblePattern p;
+    p.bits_i.resize(slots);
+    p.bits_q.resize(slots);
+    for (int i = 0; i < slots; ++i) {
+      p.bits_i[i] = seq[static_cast<std::size_t>(i) % seq.size()];
+      p.bits_q[i] = seq[(static_cast<std::size_t>(i) + seq.size() / 2) % seq.size()];
+    }
+    return p;
+  }
+};
+
+/// Firings for the preamble section starting at slot `first_slot`. Fires
+/// at max level so the reference enjoys the full SNR.
+[[nodiscard]] inline std::vector<lcm::Firing> preamble_firings(const PhyParams& p,
+                                                               int first_slot) {
+  const auto pattern = PreamblePattern::standard(p.preamble_slots);
+  const int max_level = p.levels_per_axis() - 1;
+  std::vector<lcm::Firing> out;
+  for (int i = 0; i < p.preamble_slots; ++i) {
+    lcm::Firing f;
+    f.time_s = (first_slot + i) * p.slot_s;
+    f.module = i % p.dsm_order;
+    f.level_i = pattern.bits_i[i] ? max_level : 0;
+    f.level_q = p.use_q_channel ? (pattern.bits_q[i] ? max_level : 0) : -1;
+    out.push_back(f);
+  }
+  return out;
+}
+
+/// One known training-field cycle of a module, annotated with the
+/// receiver-side metadata for the online-training design matrix. Cycles
+/// where the module does NOT fire still matter: the discharge tail of a
+/// previous firing contributes a (history, fired=0) template.
+struct TrainingFiring {
+  int module_global = 0;  ///< 0..L-1 = I modules, L..2L-1 = Q modules
+  int slot = 0;           ///< absolute slot index within the frame
+  unsigned history = 0;   ///< V history bits (bit k-1 = fired k rounds ago)
+  bool fired = false;     ///< module driven in this cycle
+  /// Template-table key ((history << 1) | fired); 0 = nothing to model.
+  [[nodiscard]] unsigned key() const { return (history << 1) | (fired ? 1U : 0U); }
+};
+
+/// Lower-triangular training schedule: module m fires in rounds r >= m.
+/// Enumerates every cycle with a non-zero template key, including the
+/// tail-only cycles in the trailing guard.
+[[nodiscard]] inline std::vector<TrainingFiring> training_schedule(const PhyParams& p,
+                                                                   const FrameLayout& layout) {
+  std::vector<TrainingFiring> out;
+  const int l = p.dsm_order;
+  const int modules = p.use_q_channel ? 2 * l : l;
+  const int rounds = layout.training_rounds;
+  for (int r = 0; r < rounds + layout.guard_cycles(); ++r) {
+    for (int m = 0; m < modules; ++m) {
+      TrainingFiring tf;
+      tf.module_global = m;
+      tf.slot = layout.training_begin() + r * l + (m % l);
+      tf.fired = r < rounds && m <= r;  // lower-triangular, idle in the guard
+      unsigned hist = 0;
+      for (int k = 1; k <= p.training_memory; ++k) {
+        const int rk = r - k;
+        const bool fired_k = rk >= 0 && rk < rounds && m <= rk;
+        hist |= fired_k ? (1U << (k - 1)) : 0U;
+      }
+      tf.history = hist;
+      if (tf.key() == 0) continue;
+      out.push_back(tf);
+    }
+  }
+  return out;
+}
+
+/// Converts a training schedule into tag firings (max level; tail-only
+/// cycles produce no drive).
+[[nodiscard]] inline std::vector<lcm::Firing> training_firings(
+    const PhyParams& p, const std::vector<TrainingFiring>& schedule) {
+  const int l = p.dsm_order;
+  const int max_level = p.levels_per_axis() - 1;
+  // Group by slot: I and Q module of the same slot index merge into one
+  // Firing record.
+  std::vector<lcm::Firing> out;
+  for (const auto& tf : schedule) {
+    if (!tf.fired) continue;
+    const int slot_module = tf.module_global % l;
+    const bool is_q = tf.module_global >= l;
+    const double t = tf.slot * p.slot_s;
+    // Find an existing firing at this time/module.
+    auto it = std::find_if(out.begin(), out.end(), [&](const lcm::Firing& f) {
+      return f.module == slot_module && std::abs(f.time_s - t) < 1e-12;
+    });
+    if (it == out.end()) {
+      lcm::Firing f;
+      f.time_s = t;
+      f.module = slot_module;
+      f.level_i = is_q ? (p.use_q_channel ? 0 : -1) : max_level;
+      f.level_q = p.use_q_channel ? (is_q ? max_level : 0) : -1;
+      out.push_back(f);
+    } else {
+      if (is_q) {
+        it->level_q = max_level;
+      } else {
+        it->level_i = max_level;
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const lcm::Firing& a, const lcm::Firing& b) { return a.time_s < b.time_s; });
+  return out;
+}
+
+/// One cycle of a module's weight pixel within the pixel-calibration
+/// rounds: in round w every module fires ONLY weight pixel w (level
+/// 2^(bits-1-w)), so individual pixel gains become observable.
+struct PixelTrainingCycle {
+  int module_global = 0;
+  int weight_index = 0;   ///< wb: 0 = largest pixel .. bits-1 = smallest
+  int slot = 0;           ///< absolute slot of the cycle
+  unsigned key = 0;       ///< template key for THIS pixel ((hist << 1) | fired)
+};
+
+/// Enumerates, for every (module, weight pixel), each pixel-rounds cycle
+/// with a non-zero key -- firings and tail-only cycles in the trailing
+/// guard. Histories account for the main training field (all pixels fired
+/// in the final rounds) and the single-pixel structure of the rounds.
+[[nodiscard]] inline std::vector<PixelTrainingCycle> pixel_training_schedule(
+    const PhyParams& p, const FrameLayout& layout) {
+  std::vector<PixelTrainingCycle> out;
+  if (layout.pixel_rounds == 0) return out;
+  const int l = p.dsm_order;
+  const int modules = p.use_q_channel ? 2 * l : l;
+  const int bits = p.bits_per_axis;
+  // Whether this pixel fired, r_rel cycles into the pixel rounds
+  // (r_rel < 0 looks back through the guard into the main training, where
+  // every pixel of a firing module is driven).
+  const auto pixel_fired = [&](int m, int wb, int r_rel) {
+    if (r_rel >= 0 && r_rel < layout.pixel_rounds) return r_rel == wb;
+    if (r_rel >= layout.pixel_rounds) return false;  // trailing guard
+    const int back = -r_rel;  // cycles before the pixel rounds
+    if (back <= layout.guard_cycles()) return false;  // leading guard
+    const int round = layout.training_rounds - (back - layout.guard_cycles());
+    return round >= 0 && round < layout.training_rounds && m <= round;
+  };
+  for (int r = 0; r < layout.pixel_rounds + layout.guard_cycles(); ++r) {
+    for (int m = 0; m < modules; ++m) {
+      for (int wb = 0; wb < bits; ++wb) {
+        const bool fired = pixel_fired(m, wb, r);
+        unsigned hist = 0;
+        for (int k = 1; k <= p.training_memory; ++k)
+          hist |= pixel_fired(m, wb, r - k) ? (1U << (k - 1)) : 0U;
+        const unsigned key = (hist << 1) | (fired ? 1U : 0U);
+        if (key == 0) continue;
+        PixelTrainingCycle pc;
+        pc.module_global = m;
+        pc.weight_index = wb;
+        pc.slot = layout.pixel_begin() + r * l + (m % l);
+        pc.key = key;
+        out.push_back(pc);
+      }
+    }
+  }
+  return out;
+}
+
+/// Tag firings for the pixel-calibration rounds: round w drives weight
+/// pixel w of every module.
+[[nodiscard]] inline std::vector<lcm::Firing> pixel_training_firings(const PhyParams& p,
+                                                                     const FrameLayout& layout) {
+  std::vector<lcm::Firing> out;
+  const int l = p.dsm_order;
+  for (int r = 0; r < layout.pixel_rounds; ++r) {
+    const int level = 1 << (p.bits_per_axis - 1 - r);
+    for (int s = 0; s < l; ++s) {
+      lcm::Firing f;
+      f.time_s = (layout.pixel_begin() + r * l + s) * p.slot_s;
+      f.module = s;
+      f.level_i = level;
+      f.level_q = p.use_q_channel ? level : -1;
+      out.push_back(f);
+    }
+  }
+  return out;
+}
+
+}  // namespace rt::phy

@@ -1,0 +1,104 @@
+// PHY modulator: payload bits -> complete packet firing schedule.
+//
+// Builds the preamble, training field and payload sections (frame.h) and
+// maps payload bits onto DSM slots through the PQAM constellation: slot n
+// fires module (n mod L) on each polarization group with the Gray-coded
+// amplitude levels of the next log2(P) bits.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "lcm/tag_array.h"
+#include "phy/constellation.h"
+#include "phy/frame.h"
+#include "phy/params.h"
+#include "signal/scrambler.h"
+
+namespace rt::phy {
+
+struct PacketSchedule {
+  std::vector<lcm::Firing> firings;  ///< sorted by time; feed to TagArray
+  FrameLayout layout;
+  std::vector<SymbolLevels> payload_symbols;  ///< ground truth for testing
+  int payload_symbol_count = 0;               ///< PQAM symbols (= active slots used)
+  double duration_s = 0.0;                    ///< total frame duration incl. tail
+};
+
+class Modulator {
+ public:
+  explicit Modulator(const PhyParams& params)
+      : p_(params), constellation_(params.bits_per_axis, params.use_q_channel) {
+    p_.validate();
+  }
+
+  /// Number of padding-free payload bits per slot.
+  [[nodiscard]] int bits_per_slot() const { return constellation_.bits_per_symbol(); }
+
+  /// Builds a full packet. `payload_bits` is scrambled (DC balance,
+  /// footnote 4), zero-padded to a whole number of slots, and mapped to
+  /// symbols. Set `scramble` false for raw-waveform experiments.
+  [[nodiscard]] PacketSchedule modulate(std::span<const std::uint8_t> payload_bits,
+                                        bool scramble = true) const {
+    std::vector<std::uint8_t> bits(payload_bits.begin(), payload_bits.end());
+    if (scramble) bits = scrambler_.apply(bits);
+    const int bps = bits_per_slot();
+    // Pad to whole firing groups so the receiver can derive the symbol
+    // count from the slot count alone (basic DSM keeps whole periods).
+    const std::size_t group_bits =
+        static_cast<std::size_t>(p_.dsm_order) * static_cast<std::size_t>(bps);
+    while (bits.size() % group_bits != 0) bits.push_back(0);
+    const int payload_symbols = static_cast<int>(bits.size()) / bps;
+    const int groups = payload_symbols / p_.dsm_order;
+    const int payload_slots = groups * p_.period_slots();
+
+    PacketSchedule out;
+    out.layout = FrameLayout::for_params(p_, payload_slots);
+    out.payload_symbol_count = payload_symbols;
+
+    // Preamble.
+    out.firings = preamble_firings(p_, out.layout.preamble_begin());
+    // Training field.
+    const auto tsched = training_schedule(p_, out.layout);
+    const auto tfirings = training_firings(p_, tsched);
+    out.firings.insert(out.firings.end(), tfirings.begin(), tfirings.end());
+    // Pixel-calibration rounds (extension; empty when disabled).
+    const auto pfirings = pixel_training_firings(p_, out.layout);
+    out.firings.insert(out.firings.end(), pfirings.begin(), pfirings.end());
+    // Payload: symbol s occupies the s-th *active* slot (basic DSM rests
+    // for basic_rest_slots after every L-slot group).
+    for (int s = 0; s < payload_symbols; ++s) {
+      const auto offset = static_cast<std::size_t>(s) * static_cast<std::size_t>(bps);
+      const auto sym = constellation_.map(std::span(bits).subspan(offset, bps));
+      out.payload_symbols.push_back(sym);
+      const int slot = (s / p_.dsm_order) * p_.period_slots() + (s % p_.dsm_order);
+      lcm::Firing f;
+      f.time_s = (out.layout.payload_begin() + slot) * p_.slot_s;
+      f.module = s % p_.dsm_order;
+      f.level_i = sym.level_i;
+      f.level_q = sym.level_q;
+      out.firings.push_back(f);
+    }
+    std::sort(out.firings.begin(), out.firings.end(),
+              [](const lcm::Firing& a, const lcm::Firing& b) { return a.time_s < b.time_s; });
+    out.duration_s = out.layout.total_slots() * p_.slot_s;
+    return out;
+  }
+
+  /// Descrambles bits recovered by the demodulator (inverse of modulate's
+  /// scrambling; additive scrambler, so the same operation).
+  [[nodiscard]] std::vector<std::uint8_t> descramble(std::span<const std::uint8_t> bits) const {
+    return scrambler_.apply(bits);
+  }
+
+  [[nodiscard]] const Constellation& constellation() const { return constellation_; }
+  [[nodiscard]] const PhyParams& params() const { return p_; }
+
+ private:
+  PhyParams p_;
+  Constellation constellation_;
+  sig::Scrambler scrambler_{};
+};
+
+}  // namespace rt::phy

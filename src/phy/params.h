@@ -1,0 +1,136 @@
+// PHY-layer parameter set tying together DSM, PQAM and frame layout.
+//
+// A RetroTurbo PHY configuration is (L, P, T): L-order DSM interleaves L
+// module firings T apart per polarization group; P-order PQAM sends
+// log2(P) bits per slot across the two polarization axes. Data rate is
+// log2(P) / T for overlapped DSM (section 4.1.2). The paper's named
+// operating points:
+//   1 Kbps:  L=8, P=4,   T=2 ms      (low-rate, lowest threshold)
+//   4 Kbps:  L=8, P=4,   T=0.5 ms
+//   8 Kbps:  L=8, P=16,  T=0.5 ms    (prototype default)
+//   16 Kbps: L=8, P=256, T=0.5 ms    (prototype tag maximum, footnote 7)
+//   32 Kbps: L=16, P=256, T=0.25 ms  (emulation, Fig. 18a)
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+#include "common/error.h"
+#include "common/units.h"
+#include "lcm/tag_array.h"
+
+namespace rt::phy {
+
+struct PhyParams {
+  int dsm_order = 8;                  ///< L
+  int bits_per_axis = 2;              ///< log2(sqrt(P))
+  double slot_s = rt::ms(0.5);        ///< T
+  double charge_s = rt::ms(0.5);      ///< tau_1 drive duration
+  double sample_rate_hz = 40e3;       ///< receiver baseband rate
+  bool use_q_channel = true;          ///< false = single-polarization baselines (OOK/PAM)
+  int training_memory = 2;            ///< V: fingerprint history depth
+  int preamble_slots = 64;            ///< preamble length in slots
+  int equalizer_branches = 16;        ///< K
+  bool merge_equalizer_states = false;  ///< Viterbi-style state merging
+  /// Basic DSM (section 4.1.1): idle slots appended after every L-slot
+  /// firing group so each symbol fully discharges before the next.
+  /// 0 = overlapped DSM (section 4.1.2), the RetroTurbo default.
+  int basic_rest_slots = 0;
+  /// Per-pixel gain calibration (extension): appends bits_per_axis extra
+  /// training rounds in which every module fires a single weight pixel,
+  /// letting the receiver estimate individual pixel gains instead of
+  /// assuming exact area proportionality (paper footnote 6). Needed for
+  /// dense constellations (>= 64-PQAM) on tags with manufacturing spread.
+  bool pixel_calibration = false;
+
+  [[nodiscard]] int pqam_order() const {
+    return use_q_channel ? (1 << (2 * bits_per_axis)) : (1 << bits_per_axis);
+  }
+  [[nodiscard]] int levels_per_axis() const { return 1 << bits_per_axis; }
+  [[nodiscard]] int bits_per_slot() const {
+    return use_q_channel ? 2 * bits_per_axis : bits_per_axis;
+  }
+  /// DSM symbol duration W = L * T (also the pulse template span).
+  [[nodiscard]] double symbol_duration_s() const { return dsm_order * slot_s; }
+  [[nodiscard]] std::size_t samples_per_slot() const {
+    return static_cast<std::size_t>(std::llround(slot_s * sample_rate_hz));
+  }
+  [[nodiscard]] std::size_t samples_per_symbol() const {
+    return samples_per_slot() * static_cast<std::size_t>(dsm_order);
+  }
+  /// Slots per firing period: L for overlapped DSM, L + rest for basic.
+  [[nodiscard]] int period_slots() const { return dsm_order + basic_rest_slots; }
+  /// Whether payload slot `n` fires a module (basic DSM rests after the
+  /// first L slots of each period).
+  [[nodiscard]] bool slot_active(int n) const { return (n % period_slots()) < dsm_order; }
+  /// Module fired at payload slot `n` (meaningful only when active).
+  [[nodiscard]] int slot_module(int n) const { return n % period_slots(); }
+
+  /// Data rate: log2(P) bits per active slot. Overlapped DSM
+  /// (section 4.1.2) has every slot active; basic DSM (section 4.1.1)
+  /// pays the tau_0 rest after each L-slot group.
+  [[nodiscard]] double data_rate_bps() const {
+    return bits_per_slot() * static_cast<double>(dsm_order) /
+           (static_cast<double>(period_slots()) * slot_s);
+  }
+  /// Basic-DSM data rate (section 4.1.1): L slots of bits, then a full
+  /// discharge of tau_0 before the next symbol.
+  [[nodiscard]] double basic_dsm_rate_bps(double tau0_s) const {
+    return (dsm_order * bits_per_slot()) / (dsm_order * charge_s + tau0_s);
+  }
+  /// Template-table size: one entry per (V-bit history, current-fired)
+  /// window, exactly the R_[b1..bV]+current-bit model of section 5.2.
+  /// Key layout: (history << 1) | fired; key 0 (idle, no history) is the
+  /// identically-zero template.
+  [[nodiscard]] int fingerprint_entries() const { return 1 << (training_memory + 1); }
+  [[nodiscard]] unsigned history_mask() const {
+    return (1U << training_memory) - 1U;
+  }
+
+  /// TagConfig matching this PHY configuration.
+  [[nodiscard]] lcm::TagConfig tag_config() const {
+    lcm::TagConfig cfg;
+    cfg.dsm_order = dsm_order;
+    cfg.bits_per_axis = bits_per_axis;
+    cfg.slot_s = slot_s;
+    cfg.charge_s = charge_s;
+    return cfg;
+  }
+
+  void validate() const {
+    RT_ENSURE(dsm_order >= 1 && dsm_order <= 64, "DSM order out of range");
+    RT_ENSURE(bits_per_axis >= 1 && bits_per_axis <= 4, "bits per axis out of range");
+    RT_ENSURE(slot_s > 0.0 && charge_s > 0.0, "timings must be positive");
+    RT_ENSURE(charge_s <= symbol_duration_s(), "charge duration cannot exceed W");
+    RT_ENSURE(sample_rate_hz * slot_s >= 4.0, "need at least 4 samples per slot");
+    RT_ENSURE(std::abs(slot_s * sample_rate_hz - std::round(slot_s * sample_rate_hz)) < 1e-9,
+              "slot duration must be an integer number of samples");
+    RT_ENSURE(training_memory >= 0 && training_memory <= 8, "training memory out of range");
+    RT_ENSURE(preamble_slots >= 8, "preamble too short for reliable detection");
+    RT_ENSURE(equalizer_branches >= 1, "need at least one equalizer branch");
+    RT_ENSURE(basic_rest_slots >= 0, "rest slots cannot be negative");
+  }
+
+  // Named operating points from the paper. Dense constellations need a
+  // deeper fingerprint memory: the 16-level axes of 256-PQAM leave only
+  // 1/15 of the swing between levels, so the un-modelled tail beyond V
+  // cycles must shrink accordingly (the V-vs-accuracy tradeoff of
+  // sections 5.2 / 7.2.2).
+  [[nodiscard]] static PhyParams rate_1kbps() { return with(8, 1, rt::ms(2.0), 2); }
+  [[nodiscard]] static PhyParams rate_4kbps() { return with(8, 1, rt::ms(0.5), 2); }
+  [[nodiscard]] static PhyParams rate_8kbps() { return with(8, 2, rt::ms(0.5), 2); }
+  [[nodiscard]] static PhyParams rate_16kbps() { return with(8, 4, rt::ms(0.5), 3); }
+  [[nodiscard]] static PhyParams rate_32kbps() { return with(16, 4, rt::ms(0.25), 4); }
+
+ private:
+  [[nodiscard]] static PhyParams with(int l, int bits, double t, int v) {
+    PhyParams p;
+    p.dsm_order = l;
+    p.bits_per_axis = bits;
+    p.slot_s = t;
+    p.training_memory = v;
+    return p;
+  }
+};
+
+}  // namespace rt::phy

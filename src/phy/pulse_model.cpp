@@ -1,0 +1,76 @@
+#include "phy/pulse_model.h"
+
+#include "signal/mls.h"
+
+namespace rt::phy {
+
+PulseBank collect_fingerprints(const PhyParams& params, const WaveformSource& source) {
+  params.validate();
+  const int l = params.dsm_order;
+  const int modules = params.use_q_channel ? 2 * l : l;
+  const int v = params.training_memory;
+  const int entries = params.fingerprint_entries();  // 2^(V+1) keys
+  const std::size_t pulse_len = params.samples_per_symbol();
+  PulseBank bank(modules, entries, pulse_len);
+
+  const double w = params.symbol_duration_s();
+  const int max_level = params.levels_per_axis() - 1;
+
+  // History-enumeration drive pattern: an order-(V+1) m-sequence guarantees
+  // every (history, fired) window appears; we run two periods and collect
+  // from the second so wrap-around histories are physically real.
+  std::vector<std::uint8_t> seq;
+  if (v == 0) {
+    seq = {1};
+  } else {
+    seq = sig::mls(static_cast<unsigned>(v + 1));
+  }
+  const std::size_t period = seq.size();
+  const std::size_t cycles = 2 * period;
+
+  // The idle baseline is module-independent: collect it once.
+  const double duration = (static_cast<double>(cycles) + 1.0) * w;
+  const auto idle = source(std::vector<lcm::Firing>{}, duration);
+
+  for (int m = 0; m < modules; ++m) {
+    const bool is_q = m >= l;
+    const int slot_module = m % l;
+    std::vector<lcm::Firing> schedule;
+    for (std::size_t k = 0; k < cycles; ++k) {
+      if (seq[k % period] == 0) continue;
+      lcm::Firing f;
+      f.time_s = (static_cast<double>(k) * static_cast<double>(l) + slot_module) * params.slot_s;
+      f.module = slot_module;
+      f.level_i = is_q ? -1 : max_level;
+      f.level_q = is_q ? max_level : -1;
+      schedule.push_back(f);
+    }
+    const auto active = source(schedule, duration);
+    RT_ENSURE(active.size() == idle.size(), "waveform source returned inconsistent lengths");
+
+    // Second-period collection: fingerprint = active - idle over one
+    // cycle, keyed by (history << 1) | fired. The order-(V+1) m-sequence
+    // covers every non-zero key exactly once; key 0 (idle with no recent
+    // firing) stays the zero template. Unfired keys capture the discharge
+    // tails that leak past the previous cycle's window.
+    for (std::size_t k = period; k < cycles; ++k) {
+      const unsigned fired = seq[k % period] ? 1U : 0U;
+      unsigned hist = 0;
+      for (int j = 1; j <= v; ++j)
+        hist |= seq[(k - static_cast<std::size_t>(j)) % period] ? (1U << (j - 1)) : 0U;
+      const unsigned key = (hist << 1) | fired;
+      if (key == 0) continue;
+      const double t_fire =
+          (static_cast<double>(k) * static_cast<double>(l) + slot_module) * params.slot_s;
+      const std::size_t begin = active.index_at(t_fire);
+      RT_ENSURE(begin + pulse_len <= active.size(), "fingerprint window exceeds waveform");
+      std::vector<Complex> pulse(pulse_len);
+      for (std::size_t i = 0; i < pulse_len; ++i)
+        pulse[i] = active[begin + i] - idle[begin + i];
+      bank.set_pulse(m, key, std::move(pulse));
+    }
+  }
+  return bank;
+}
+
+}  // namespace rt::phy

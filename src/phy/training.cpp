@@ -1,0 +1,229 @@
+#include "phy/training.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "linalg/least_squares.h"
+#include "linalg/svd.h"
+
+namespace rt::phy {
+
+namespace {
+
+/// Nominal complex axis of a module: I group on the real axis, Q group on
+/// the imaginary axis (p_I = j p_Q, section 4.2.3).
+Complex module_axis(int module_global, int dsm_order) {
+  return module_global < dsm_order ? Complex(1.0, 0.0) : Complex(0.0, 1.0);
+}
+
+}  // namespace
+
+OfflineModel OfflineTrainer::train(const PhyParams& params,
+                                   std::span<const WaveformSource> sources, int rank) {
+  RT_ENSURE(!sources.empty(), "offline training needs at least one orientation source");
+  std::vector<PulseBank> banks;
+  banks.reserve(sources.size());
+  for (const auto& src : sources) banks.push_back(collect_fingerprints(params, src));
+  return train_from_banks(params, banks, rank);
+}
+
+OfflineModel OfflineTrainer::train_from_banks(const PhyParams& params,
+                                              std::span<const PulseBank> banks, int rank) {
+  RT_ENSURE(!banks.empty(), "need at least one fingerprint bank");
+  RT_ENSURE(rank >= 1, "rank must be >= 1");
+  const int l = params.dsm_order;
+  const int modules = params.use_q_channel ? 2 * l : l;
+  const int entries = params.fingerprint_entries();
+  const std::size_t pulse_len = params.samples_per_symbol();
+  const std::size_t domain = static_cast<std::size_t>(entries) * pulse_len;
+
+  const std::size_t n_cols = banks.size() * static_cast<std::size_t>(modules);
+  linalg::RealMatrix e(domain, n_cols);
+  std::size_t col = 0;
+  for (const auto& bank : banks) {
+    RT_ENSURE(bank.modules() == modules && bank.entries() == entries &&
+                  bank.pulse_len() == pulse_len,
+              "fingerprint bank does not match the PHY parameters");
+    for (int m = 0; m < modules; ++m) {
+      const Complex axis = module_axis(m, l);
+      for (int h = 0; h < entries; ++h) {
+        const auto pulse = bank.pulse(m, static_cast<unsigned>(h));
+        for (std::size_t k = 0; k < pulse_len; ++k) {
+          // Project onto the module's nominal axis; the tiny orthogonal
+          // residue from polarizer attachment errors is noise to the basis.
+          e(static_cast<std::size_t>(h) * pulse_len + k, col) =
+              (pulse[k] * std::conj(axis)).real();
+        }
+      }
+      ++col;
+    }
+  }
+
+  const auto s = linalg::svd(e);
+  const auto k = std::min<std::size_t>(static_cast<std::size_t>(rank), s.sigma.size());
+  OfflineModel model;
+  model.bases = linalg::truncated_basis(s, k);
+  model.sigma.assign(s.sigma.begin(), s.sigma.begin() + static_cast<std::ptrdiff_t>(k));
+  return model;
+}
+
+PulseBank OnlineTrainer::train(const PhyParams& params, const OfflineModel& model,
+                               const FrameLayout& layout, const sig::IqWaveform& corrected_rx,
+                               std::size_t frame_start, double ridge) {
+  RT_ENSURE(ridge >= 0.0, "ridge weight cannot be negative");
+  const int l = params.dsm_order;
+  const int modules = params.use_q_channel ? 2 * l : l;
+  const int s_rank = model.rank();
+  const std::size_t pulse_len = params.samples_per_symbol();
+  RT_ENSURE(model.domain() == static_cast<std::size_t>(params.fingerprint_entries()) * pulse_len,
+            "offline model domain does not match the PHY parameters");
+
+  const std::size_t t_samps = params.samples_per_slot();
+  const int region_slots = layout.training_slots() + layout.guard_slots;
+  const std::size_t n = static_cast<std::size_t>(region_slots) * t_samps;
+  const std::size_t region_start =
+      frame_start + static_cast<std::size_t>(layout.training_begin()) * t_samps;
+  RT_ENSURE(region_start + n <= corrected_rx.size(),
+            "received waveform too short for the training field");
+
+  const std::size_t unknowns = static_cast<std::size_t>(modules) * static_cast<std::size_t>(s_rank);
+  // Ridge regularization: stack sqrt(lambda) I under the design matrix so
+  // the QR solve minimizes ||A g - b||^2 + lambda ||g||^2.
+  linalg::RealMatrix a(n + unknowns, unknowns);
+  std::vector<double> b_re(n + unknowns, 0.0);
+  std::vector<double> b_im(n + unknowns, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto v = corrected_rx[region_start + i];
+    b_re[i] = v.real();
+    b_im[i] = v.imag();
+  }
+
+  const auto schedule = training_schedule(params, layout);
+  for (const auto& tf : schedule) {
+    const std::size_t off =
+        static_cast<std::size_t>(tf.slot - layout.training_begin()) * t_samps;
+    for (int s = 0; s < s_rank; ++s) {
+      const std::size_t u = static_cast<std::size_t>(tf.module_global) * s_rank + s;
+      const std::size_t key_base = static_cast<std::size_t>(tf.key()) * pulse_len;
+      for (std::size_t k = 0; k < pulse_len; ++k) {
+        const std::size_t row = off + k;
+        if (row >= n) break;
+        a(row, u) += model.bases(key_base + k, static_cast<std::size_t>(s));
+      }
+    }
+  }
+
+  // Singular-value-weighted ridge: each coefficient's penalty scales with
+  // its design-column norm (scale invariance) and with sigma_1/sigma_s --
+  // the dominant basis is essentially unpenalized, weak bases are damped
+  // toward zero unless the packet strongly supports them.
+  if (ridge > 0.0) {
+    const double sigma1 = model.sigma.empty() ? 1.0 : model.sigma.front();
+    for (std::size_t u = 0; u < unknowns; ++u) {
+      double col_sq = 0.0;
+      for (std::size_t i = 0; i < n; ++i) col_sq += a(i, u) * a(i, u);
+      const int s = static_cast<int>(u % static_cast<std::size_t>(s_rank));
+      const double sig =
+          (s < static_cast<int>(model.sigma.size()) && model.sigma[s] > 0.0) ? model.sigma[s]
+                                                                             : sigma1;
+      const double weight = sigma1 / sig;
+      a(n + u, u) = std::sqrt(ridge * col_sq) * weight;
+    }
+  }
+
+  // A is real; solve the complex fit as two real least-squares problems.
+  const auto qr = linalg::qr_decompose(a);
+  const auto solve = [&](std::span<const double> rhs) {
+    std::vector<double> y(a.cols());
+    for (std::size_t j = 0; j < a.cols(); ++j) y[j] = linalg::dot<double>(qr.q.col(j), rhs);
+    return linalg::back_substitute(qr.r, std::span<const double>(y));
+  };
+  const auto g_re = solve(b_re);
+  const auto g_im = solve(b_im);
+
+  PulseBank bank(modules, params.fingerprint_entries(), pulse_len);
+  for (int m = 0; m < modules; ++m) {
+    for (int key = 0; key < params.fingerprint_entries(); ++key) {
+      std::vector<Complex> pulse(pulse_len);
+      if (key != 0) {  // key 0 is the identically-zero template
+        for (int s = 0; s < s_rank; ++s) {
+          const std::size_t u = static_cast<std::size_t>(m) * s_rank + s;
+          const Complex gamma(g_re[u], g_im[u]);
+          const std::size_t key_base = static_cast<std::size_t>(key) * pulse_len;
+          for (std::size_t k = 0; k < pulse_len; ++k)
+            pulse[k] += gamma * model.bases(key_base + k, static_cast<std::size_t>(s));
+        }
+      }
+      bank.set_pulse(m, static_cast<unsigned>(key), std::move(pulse));
+    }
+  }
+
+  if (layout.pixel_rounds > 0)
+    calibrate_pixel_gains(params, layout, corrected_rx, frame_start, bank);
+  return bank;
+}
+
+void OnlineTrainer::calibrate_pixel_gains(const PhyParams& params, const FrameLayout& layout,
+                                          const sig::IqWaveform& corrected_rx,
+                                          std::size_t frame_start, PulseBank& bank) {
+  // Second LS stage over the pixel-calibration rounds: each weight pixel's
+  // waveform is g_{m,w} * area_w * T_m[key], with complex gains g as the
+  // unknowns. The single-pixel firing structure of the rounds makes the
+  // per-pixel columns linearly independent.
+  const int l = params.dsm_order;
+  const int modules = params.use_q_channel ? 2 * l : l;
+  const int bits = params.bits_per_axis;
+  const std::size_t pulse_len = params.samples_per_symbol();
+  const std::size_t t_samps = params.samples_per_slot();
+  const double area_denom = static_cast<double>((1 << bits) - 1);
+
+  const int region_slots = layout.pixel_slots() + layout.guard_slots;
+  const std::size_t n = static_cast<std::size_t>(region_slots) * t_samps;
+  const std::size_t region_start =
+      frame_start + static_cast<std::size_t>(layout.pixel_begin()) * t_samps;
+  RT_ENSURE(region_start + n <= corrected_rx.size(),
+            "received waveform too short for the pixel-calibration rounds");
+
+  // Gains are REAL amplitude factors (manufacturing area/transmission
+  // spread); solving a real system on stacked re/im rows also avoids the
+  // rank deficiency of a complex solve, where an I module's template and
+  // its Q sibling's (j times the same shape, fired in the same rounds)
+  // are complex-proportional.
+  const std::size_t unknowns =
+      static_cast<std::size_t>(modules) * static_cast<std::size_t>(bits);
+  linalg::RealMatrix a(2 * n, unknowns);
+  std::vector<double> b(2 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b[i] = corrected_rx[region_start + i].real();
+    b[n + i] = corrected_rx[region_start + i].imag();
+  }
+
+  const auto schedule = pixel_training_schedule(params, layout);
+  for (const auto& pc : schedule) {
+    const std::size_t off =
+        static_cast<std::size_t>(pc.slot - layout.pixel_begin()) * t_samps;
+    const std::size_t u =
+        static_cast<std::size_t>(pc.module_global) * static_cast<std::size_t>(bits) +
+        static_cast<std::size_t>(pc.weight_index);
+    const double area = static_cast<double>(1 << (bits - 1 - pc.weight_index)) / area_denom;
+    const auto tmpl = bank.pulse(pc.module_global, pc.key);
+    for (std::size_t k = 0; k < pulse_len; ++k) {
+      const std::size_t row = off + k;
+      if (row >= n) break;
+      a(row, u) += area * tmpl[k].real();
+      a(n + row, u) += area * tmpl[k].imag();
+    }
+  }
+
+  try {
+    const auto gains = linalg::solve_least_squares(a, std::span<const double>(b));
+    std::vector<Complex> cg(gains.size());
+    for (std::size_t i = 0; i < gains.size(); ++i) cg[i] = Complex(gains[i], 0.0);
+    bank.set_pixel_gains(std::move(cg), bits);
+  } catch (const PreconditionError&) {
+    // Degenerate calibration (e.g. a pixel never excited): keep unity
+    // gains rather than fail the packet.
+  }
+}
+
+}  // namespace rt::phy

@@ -1,0 +1,78 @@
+// Sliding-window correlation / matched filtering helpers used by the
+// preamble detector.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "signal/waveform.h"
+
+namespace rt::sig {
+
+/// Normalized cross-correlation magnitude of `ref` against every alignment
+/// of `x` (output length: x.size() - ref.size() + 1). The magnitude is
+/// rotation-invariant, which matters because an uncorrected polarization
+/// misalignment rotates the whole complex signal.
+[[nodiscard]] inline std::vector<double> sliding_correlation(std::span<const Complex> x,
+                                                             std::span<const Complex> ref) {
+  if (ref.empty() || x.size() < ref.size()) return {};
+  const std::size_t n = x.size() - ref.size() + 1;
+  double ref_energy = 0.0;
+  for (const auto& r : ref) ref_energy += std::norm(r);
+  std::vector<double> out(n, 0.0);
+  if (ref_energy == 0.0) return out;
+  for (std::size_t t = 0; t < n; ++t) {
+    Complex acc{};
+    double x_energy = 0.0;
+    for (std::size_t k = 0; k < ref.size(); ++k) {
+      acc += std::conj(ref[k]) * x[t + k];
+      x_energy += std::norm(x[t + k]);
+    }
+    out[t] = x_energy > 0.0 ? std::abs(acc) / std::sqrt(ref_energy * x_energy) : 0.0;
+  }
+  return out;
+}
+
+/// Mean-invariant normalized correlation: both the reference and each
+/// window of `x` are centred before correlating, so a DC offset (the
+/// relaxed-pixel baseline in VLBC reception) cannot bias the peak. Using a
+/// zero-mean reference makes the numerator window-DC-invariant for free;
+/// the window energy is corrected via prefix sums.
+[[nodiscard]] inline std::vector<double> sliding_correlation_centered(
+    std::span<const Complex> x, std::span<const Complex> ref_in) {
+  if (ref_in.empty() || x.size() < ref_in.size()) return {};
+  std::vector<Complex> ref(ref_in.begin(), ref_in.end());
+  Complex ref_mean{};
+  for (const auto& r : ref) ref_mean += r;
+  ref_mean /= static_cast<double>(ref.size());
+  double ref_energy = 0.0;
+  for (auto& r : ref) {
+    r -= ref_mean;
+    ref_energy += std::norm(r);
+  }
+  const std::size_t n = x.size() - ref.size() + 1;
+  std::vector<double> out(n, 0.0);
+  if (ref_energy == 0.0) return out;
+
+  // Prefix sums for windowed mean/energy.
+  std::vector<Complex> psum(x.size() + 1, Complex{});
+  std::vector<double> penergy(x.size() + 1, 0.0);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    psum[i + 1] = psum[i] + x[i];
+    penergy[i + 1] = penergy[i] + std::norm(x[i]);
+  }
+  const auto k = ref.size();
+  for (std::size_t t = 0; t < n; ++t) {
+    Complex acc{};
+    for (std::size_t i = 0; i < k; ++i) acc += std::conj(ref[i]) * x[t + i];
+    const Complex wsum = psum[t + k] - psum[t];
+    const double wenergy = penergy[t + k] - penergy[t];
+    const double centred_energy =
+        wenergy - std::norm(wsum) / static_cast<double>(k);
+    out[t] = centred_energy > 1e-300 ? std::abs(acc) / std::sqrt(ref_energy * centred_energy)
+                                     : 0.0;
+  }
+  return out;
+}
+
+}  // namespace rt::sig

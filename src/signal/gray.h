@@ -1,0 +1,22 @@
+// Gray code mapping.
+//
+// PQAM maps bits to the sqrt(P) amplitude levels of each polarization axis
+// with Gray labelling (section 5.1 notes Gray code keeps symbol errors to
+// single bit errors), so adjacent constellation points differ by one bit.
+#pragma once
+
+#include <cstdint>
+
+namespace rt::sig {
+
+/// Binary -> Gray.
+[[nodiscard]] constexpr std::uint32_t gray_encode(std::uint32_t v) { return v ^ (v >> 1); }
+
+/// Gray -> binary.
+[[nodiscard]] constexpr std::uint32_t gray_decode(std::uint32_t g) {
+  std::uint32_t v = g;
+  for (std::uint32_t shift = 1; shift < 32; shift <<= 1) v ^= v >> shift;
+  return v;
+}
+
+}  // namespace rt::sig

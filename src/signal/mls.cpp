@@ -1,0 +1,86 @@
+#include "signal/mls.h"
+
+#include <array>
+#include <cstddef>
+
+#include "common/error.h"
+
+namespace rt::sig {
+
+namespace {
+
+// Maximal-length Fibonacci LFSR tap positions (1-indexed stages), from the
+// standard table in Xilinx XAPP052. Feedback is the XOR of the tapped
+// stages; with a non-zero seed the register cycles through all 2^n - 1
+// non-zero states.
+constexpr std::array<std::array<int, 4>, 25> kTaps = {{
+    {0, 0, 0, 0},      // order 0 (unused)
+    {0, 0, 0, 0},      // order 1 (unused)
+    {2, 1, 0, 0},      // 2
+    {3, 2, 0, 0},      // 3
+    {4, 3, 0, 0},      // 4
+    {5, 3, 0, 0},      // 5
+    {6, 5, 0, 0},      // 6
+    {7, 6, 0, 0},      // 7
+    {8, 6, 5, 4},      // 8
+    {9, 5, 0, 0},      // 9
+    {10, 7, 0, 0},     // 10
+    {11, 9, 0, 0},     // 11
+    {12, 6, 4, 1},     // 12
+    {13, 4, 3, 1},     // 13
+    {14, 5, 3, 1},     // 14
+    {15, 14, 0, 0},    // 15
+    {16, 15, 13, 4},   // 16
+    {17, 14, 0, 0},    // 17
+    {18, 11, 0, 0},    // 18
+    {19, 6, 2, 1},     // 19
+    {20, 17, 0, 0},    // 20
+    {21, 19, 0, 0},    // 21
+    {22, 21, 0, 0},    // 22
+    {23, 18, 0, 0},    // 23
+    {24, 23, 22, 17},  // 24
+}};
+
+}  // namespace
+
+std::vector<std::uint8_t> mls(unsigned order) {
+  RT_ENSURE(order >= 2 && order <= 24, "mls order must be in [2, 24]");
+  const auto& taps = kTaps[order];
+  const std::size_t period = (std::size_t{1} << order) - 1;
+  std::vector<std::uint8_t> out;
+  out.reserve(period);
+  // State bit i (0-based) holds shift-register stage i+1.
+  std::uint32_t state = 1;
+  const std::uint32_t mask = (order == 32) ? 0xFFFFFFFFU : ((1U << order) - 1U);
+  for (std::size_t i = 0; i < period; ++i) {
+    // Output the last stage.
+    out.push_back(static_cast<std::uint8_t>((state >> (order - 1)) & 1U));
+    std::uint32_t feedback = 0;
+    for (const int t : taps) {
+      if (t == 0) break;
+      feedback ^= (state >> (t - 1)) & 1U;
+    }
+    state = ((state << 1) | feedback) & mask;
+  }
+  return out;
+}
+
+bool is_maximal_length(const std::vector<std::uint8_t>& seq, unsigned order) {
+  const std::size_t period = (std::size_t{1} << order) - 1;
+  if (seq.size() != period) return false;
+  std::size_t ones = 0;
+  for (const auto b : seq) ones += b;
+  // Balance property of m-sequences.
+  if (ones != (std::size_t{1} << (order - 1))) return false;
+  // Every non-zero `order`-bit window must appear exactly once (span property).
+  std::vector<std::uint8_t> seen(period + 1, 0);
+  for (std::size_t i = 0; i < period; ++i) {
+    std::uint32_t window = 0;
+    for (unsigned k = 0; k < order; ++k) window = (window << 1) | seq[(i + k) % period];
+    if (window == 0 || seen[window]) return false;
+    seen[window] = 1;
+  }
+  return true;
+}
+
+}  // namespace rt::sig

@@ -1,0 +1,22 @@
+// Maximum-length sequences (m-sequences) via Fibonacci LFSRs.
+//
+// Section 5.2 of the paper characterizes the nonlinear LCM with a V-th
+// order MLS drive pattern: every V-bit history appears exactly once per
+// period, so one period of the sequence suffices to collect a complete
+// fingerprint table R_[b1..bV](t). Channel training (section 4.3.3)
+// likewise enumerates histories by an MLS.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rt::sig {
+
+/// Generates one full period (2^order - 1 bits) of a maximal-length
+/// sequence for LFSR orders 2..24.
+[[nodiscard]] std::vector<std::uint8_t> mls(unsigned order);
+
+/// Verifies the balance property (#ones = 2^(order-1)) -- used by tests.
+[[nodiscard]] bool is_maximal_length(const std::vector<std::uint8_t>& seq, unsigned order);
+
+}  // namespace rt::sig

@@ -1,0 +1,42 @@
+// Additive (synchronous) scrambler.
+//
+// Footnote 4 of the paper: the transmitter avoids DC stress on the liquid
+// crystal by applying a data scrambler, so long runs of identical symbols
+// do not park the constellation at one point. The same LFSR whitening is
+// applied at both ends (XOR is its own inverse).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/error.h"
+
+namespace rt::sig {
+
+/// Self-synchronous additive scrambler over bit vectors using the CCITT
+/// V.34-style polynomial x^7 + x^4 + 1.
+class Scrambler {
+ public:
+  explicit Scrambler(std::uint8_t seed = 0x7F) : seed_(seed & 0x7F) {
+    RT_ENSURE(seed_ != 0, "scrambler seed must be non-zero");
+  }
+
+  /// XORs the input bit stream with the LFSR keystream. Applying twice with
+  /// the same seed restores the original data.
+  [[nodiscard]] std::vector<std::uint8_t> apply(std::span<const std::uint8_t> bits) const {
+    std::vector<std::uint8_t> out(bits.size());
+    std::uint8_t state = seed_;
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+      const std::uint8_t key = static_cast<std::uint8_t>(((state >> 6) ^ (state >> 3)) & 1U);
+      out[i] = static_cast<std::uint8_t>((bits[i] & 1U) ^ key);
+      state = static_cast<std::uint8_t>(((state << 1) | key) & 0x7F);
+    }
+    return out;
+  }
+
+ private:
+  std::uint8_t seed_;
+};
+
+}  // namespace rt::sig

@@ -1,0 +1,57 @@
+// SNR estimation from received waveforms.
+//
+// The rate-adaptive MAC (section 4.4) assigns bit/coding rates from the
+// measured uplink SNR. The reader estimates it without ground truth using
+// the preamble: the regression fit separates the deterministic reference
+// component from the residual, whose energy is the noise estimate.
+#pragma once
+
+#include <span>
+
+#include "common/error.h"
+#include "common/units.h"
+#include "signal/waveform.h"
+
+namespace rt::sig {
+
+struct SnrEstimate {
+  double snr_db = 0.0;
+  double signal_power = 0.0;
+  double noise_power = 0.0;
+};
+
+/// Estimates SNR by comparing a received segment against the known (fitted)
+/// reference: signal power from the reference, noise power from the
+/// residual. Both spans must be aligned and equal length.
+[[nodiscard]] inline SnrEstimate estimate_snr(std::span<const Complex> received,
+                                              std::span<const Complex> fitted_reference) {
+  RT_ENSURE(received.size() == fitted_reference.size() && !received.empty(),
+            "aligned equal-length spans required");
+  double p_sig = 0.0;
+  double p_noise = 0.0;
+  for (std::size_t i = 0; i < received.size(); ++i) {
+    p_sig += std::norm(fitted_reference[i]);
+    p_noise += std::norm(received[i] - fitted_reference[i]);
+  }
+  p_sig /= static_cast<double>(received.size());
+  p_noise /= static_cast<double>(received.size());
+  RT_ENSURE(p_noise > 0.0, "zero residual: cannot estimate SNR");
+  return {rt::to_db(p_sig / p_noise), p_sig, p_noise};
+}
+
+/// Blind moment-based estimate for constant-envelope segments: separates
+/// mean (signal) from variance (noise) per axis. Used for quick link
+/// probing when no reference is available.
+[[nodiscard]] inline SnrEstimate estimate_snr_blind(std::span<const Complex> received) {
+  RT_ENSURE(received.size() >= 8, "need at least 8 samples");
+  Complex mean{};
+  for (const auto& v : received) mean += v;
+  mean /= static_cast<double>(received.size());
+  double var = 0.0;
+  for (const auto& v : received) var += std::norm(v - mean);
+  var /= static_cast<double>(received.size() - 1);
+  RT_ENSURE(var > 0.0, "zero variance: cannot estimate SNR");
+  return {rt::to_db(std::norm(mean) / var), std::norm(mean), var};
+}
+
+}  // namespace rt::sig

@@ -1,0 +1,79 @@
+// Sampled waveform containers.
+//
+// Real waveforms model single-photodiode intensity traces; complex (IQ)
+// waveforms model the two-polarization-channel reception where the 0deg
+// receiver maps to the real axis and the 45deg receiver to the imaginary
+// axis (paper section 4.2.3: p_I(t) = sqrt(-1) p_Q(t)).
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/error.h"
+
+namespace rt::sig {
+
+using Complex = std::complex<double>;
+
+/// A uniformly sampled scalar signal tagged with its sample rate.
+template <typename T>
+struct BasicWaveform {
+  double sample_rate_hz = 0.0;
+  std::vector<T> samples;
+
+  BasicWaveform() = default;
+  BasicWaveform(double fs, std::vector<T> s) : sample_rate_hz(fs), samples(std::move(s)) {
+    RT_ENSURE(fs > 0.0, "sample rate must be positive");
+  }
+  BasicWaveform(double fs, std::size_t n) : sample_rate_hz(fs), samples(n, T{}) {
+    RT_ENSURE(fs > 0.0, "sample rate must be positive");
+  }
+
+  [[nodiscard]] std::size_t size() const { return samples.size(); }
+  [[nodiscard]] double duration_s() const {
+    return sample_rate_hz > 0.0 ? static_cast<double>(samples.size()) / sample_rate_hz : 0.0;
+  }
+  [[nodiscard]] T& operator[](std::size_t i) { return samples[i]; }
+  [[nodiscard]] const T& operator[](std::size_t i) const { return samples[i]; }
+
+  /// Mean power (|x|^2 averaged over samples).
+  [[nodiscard]] double mean_power() const {
+    if (samples.empty()) return 0.0;
+    double s = 0.0;
+    for (const auto& v : samples) s += std::norm(Complex(v));
+    return s / static_cast<double>(samples.size());
+  }
+
+  /// Index of the sample nearest to time `t` seconds.
+  [[nodiscard]] std::size_t index_at(double t) const {
+    RT_ENSURE(t >= 0.0, "time must be non-negative");
+    return static_cast<std::size_t>(t * sample_rate_hz + 0.5);
+  }
+};
+
+using Waveform = BasicWaveform<double>;
+using IqWaveform = BasicWaveform<Complex>;
+
+/// Element-wise a += b (b may be shorter; added from offset 0).
+template <typename T>
+void accumulate(BasicWaveform<T>& a, const BasicWaveform<T>& b, std::size_t offset = 0) {
+  RT_ENSURE(a.sample_rate_hz == b.sample_rate_hz, "sample rate mismatch");
+  const std::size_t n = std::min(b.size(), a.size() > offset ? a.size() - offset : 0);
+  for (std::size_t i = 0; i < n; ++i) a.samples[offset + i] += b.samples[i];
+}
+
+/// Root-mean-square difference between two equal-rate waveforms over the
+/// overlapping prefix.
+template <typename T>
+[[nodiscard]] double rms_error(const BasicWaveform<T>& a, const BasicWaveform<T>& b) {
+  RT_ENSURE(a.sample_rate_hz == b.sample_rate_hz, "sample rate mismatch");
+  const std::size_t n = std::min(a.size(), b.size());
+  if (n == 0) return 0.0;
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) s += std::norm(Complex(a.samples[i]) - Complex(b.samples[i]));
+  return std::sqrt(s / static_cast<double>(n));
+}
+
+}  // namespace rt::sig

@@ -1,0 +1,90 @@
+#include "sim/channel.h"
+
+#include "optics/polarization.h"
+#include "phy/frame.h"
+#include "signal/awgn.h"
+
+namespace rt::sim {
+
+namespace {
+
+/// Mean power of (preamble waveform - idle baseline) at unit gain: the
+/// modulated signal power defining SNR for a PHY configuration.
+double reference_power(const phy::PhyParams& params, const lcm::TagConfig& tag_cfg) {
+  lcm::TagArray active(tag_cfg);
+  lcm::TagArray idle(tag_cfg);
+  const auto firings = phy::preamble_firings(params, 0);
+  const double duration = (params.preamble_slots + params.dsm_order) * params.slot_s;
+  const auto wa = active.synthesize(firings, params.sample_rate_hz, duration);
+  const auto wi = idle.synthesize({}, params.sample_rate_hz, duration);
+  double p = 0.0;
+  for (std::size_t i = 0; i < wa.size(); ++i) p += std::norm(wa[i] - wi[i]);
+  return p / static_cast<double>(wa.size());
+}
+
+}  // namespace
+
+Channel::Channel(const phy::PhyParams& params, lcm::TagConfig tag_config,
+                 const ChannelConfig& config)
+    : params_(params), tag_cfg_(tag_config), cfg_(config), noise_rng_(config.noise_seed) {
+  params_.validate();
+  cfg_.pose.validate();
+  ref_power_ = reference_power(params_, posed_tag_config(cfg_.pose));
+  // Total per-axis noise: receiver AWGN realizing the target SNR plus the
+  // ambient shot-noise floor (complex noise splits across the two axes).
+  const double snr_lin = rt::from_db(cfg_.snr_db());
+  const double awgn_var = ref_power_ / snr_lin / 2.0;
+  const double shot = cfg_.ambient.shot_noise_sigma();
+  sigma_ = std::sqrt(awgn_var + shot * shot);
+}
+
+lcm::TagConfig Channel::posed_tag_config(const Pose& pose) const {
+  lcm::TagConfig cfg = tag_cfg_;
+  cfg.yaw_rad = pose.yaw_rad;
+  return cfg;
+}
+
+phy::WaveformSource Channel::noiseless_source_at(const Pose& pose) const {
+  const auto tag_cfg = posed_tag_config(pose);
+  const auto rot = optics::roll_rotation(pose.roll_rad);
+  const auto params = params_;
+  return [tag_cfg, rot, params](std::span<const lcm::Firing> firings, double duration) {
+    lcm::TagArray tag(tag_cfg);
+    auto w = tag.synthesize(firings, params.sample_rate_hz, duration);
+    for (auto& v : w.samples) v *= rot;
+    return w;
+  };
+}
+
+phy::WaveformSource Channel::noiseless_source() const {
+  return noiseless_source_at(cfg_.pose);
+}
+
+phy::WaveformSource Channel::source() {
+  const auto tag_cfg = posed_tag_config(cfg_.pose);
+  const auto rot = optics::roll_rotation(cfg_.pose.roll_rad);
+  const auto params = params_;
+  const auto mobility = cfg_.mobility;
+  const double sigma = sigma_;
+  // The noise RNG is shared (by reference through `this`) so successive
+  // packets draw independent noise.
+  const auto dynamics = cfg_.dynamics;
+  return [this, tag_cfg, rot, params, mobility, dynamics, sigma](
+             std::span<const lcm::Firing> firings, double duration) {
+    lcm::TagArray tag(tag_cfg);
+    auto w = tag.synthesize(firings, params.sample_rate_hz, duration);
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      const double t = static_cast<double>(i) / params.sample_rate_hz;
+      sig::Complex g = rot * mobility.gain(t);
+      if (dynamics.any()) {
+        g *= optics::roll_rotation(rt::deg_to_rad(dynamics.roll_rate_deg_s) * t);
+        g *= std::max(0.05, 1.0 + dynamics.gain_drift_per_s * t);
+      }
+      w[i] *= g;
+    }
+    if (sigma > 0.0) sig::add_noise_sigma(w, sigma, noise_rng_);
+    return w;
+  };
+}
+
+}  // namespace rt::sim

@@ -1,0 +1,21 @@
+// Tag-reader geometry for the end-to-end simulator.
+#pragma once
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace rt::sim {
+
+/// Relative pose of a tag with respect to the reader.
+struct Pose {
+  double distance_m = 2.0;
+  double roll_rad = 0.0;  ///< rotation about the optical axis (PQAM rotation)
+  double yaw_rad = 0.0;   ///< tag surface tilt away from facing the reader
+
+  void validate() const {
+    RT_ENSURE(distance_m > 0.0, "distance must be positive");
+    RT_ENSURE(std::abs(yaw_rad) < rt::deg_to_rad(89.0), "yaw must be within +-89deg");
+  }
+};
+
+}  // namespace rt::sim

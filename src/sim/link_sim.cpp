@@ -1,0 +1,106 @@
+#include "sim/link_sim.h"
+
+#include "phy/training.h"
+
+namespace rt::sim {
+
+namespace {
+
+phy::OfflineModel build_offline_model(const phy::PhyParams& params, const Channel& channel,
+                                      const SimOptions& opts, const ChannelConfig& ch_cfg) {
+  if (opts.shared_offline_model) return *opts.shared_offline_model;
+  std::vector<phy::WaveformSource> sources;
+  for (const double yaw_deg : opts.offline_yaws_deg) {
+    Pose pose = ch_cfg.pose;
+    pose.roll_rad = 0.0;  // offline references are calibrated rotation-free
+    pose.yaw_rad = rt::deg_to_rad(yaw_deg);
+    sources.push_back(channel.noiseless_source_at(pose));
+  }
+  return phy::OfflineTrainer::train(params, sources, opts.offline_rank);
+}
+
+}  // namespace
+
+phy::OfflineModel train_offline_model(const phy::PhyParams& params,
+                                      const lcm::TagConfig& tag_config,
+                                      const std::vector<double>& yaws_deg, int rank) {
+  ChannelConfig probe;
+  probe.snr_override_db = 60.0;  // unused by the noiseless sources
+  Channel channel(params, tag_config, probe);
+  std::vector<phy::WaveformSource> sources;
+  for (const double yaw_deg : yaws_deg) {
+    Pose pose;
+    pose.yaw_rad = rt::deg_to_rad(yaw_deg);
+    sources.push_back(channel.noiseless_source_at(pose));
+  }
+  return phy::OfflineTrainer::train(params, sources, rank);
+}
+
+LinkSimulator::LinkSimulator(const phy::PhyParams& params, const lcm::TagConfig& tag_config,
+                             const ChannelConfig& channel_config, const SimOptions& options)
+    : params_(params),
+      channel_(params, tag_config, channel_config),
+      modulator_(params),
+      demodulator_(params, build_offline_model(params, channel_, options, channel_config)),
+      opts_(options),
+      rng_(options.seed) {
+  if (opts_.oracle_templates) {
+    // Fingerprints measured noiselessly at the oracle pose (default: the
+    // operating pose = perfect channel knowledge) but WITHOUT roll (the
+    // preamble correction restores the reference frame, so templates live
+    // in the rotation-free frame).
+    Pose pose = opts_.oracle_pose.value_or(channel_config.pose);
+    pose.roll_rad = 0.0;
+    oracle_ = phy::collect_fingerprints(params_, channel_.noiseless_source_at(pose));
+  }
+}
+
+LinkSimulator::PacketOutcome LinkSimulator::send_packet(
+    std::span<const std::uint8_t> payload_bits) {
+  const auto pkt = modulator_.modulate(payload_bits);
+
+  // Random pre-padding: the reader does not know when the packet starts.
+  const int pad_slots =
+      opts_.max_pad_slots > 0 ? static_cast<int>(rng_.uniform_int(0, opts_.max_pad_slots)) : 0;
+  std::vector<lcm::Firing> shifted(pkt.firings.begin(), pkt.firings.end());
+  const double pad_s = pad_slots * params_.slot_s;
+  for (auto& f : shifted) f.time_s += pad_s;
+  const double duration = pad_s + pkt.duration_s + params_.symbol_duration_s();
+
+  auto source = channel_.source();
+  const auto rx = source(shifted, duration);
+
+  phy::DemodOptions dopts;
+  dopts.online_training = opts_.online_training && !opts_.oracle_templates;
+  dopts.oracle = opts_.oracle_templates ? &*oracle_ : nullptr;
+  dopts.search_limit = static_cast<std::size_t>(opts_.max_pad_slots + 2) *
+                       params_.samples_per_slot();
+  const auto res = demodulator_.demodulate(rx, pkt.layout.payload_slots, dopts);
+
+  PacketOutcome out;
+  out.bits = payload_bits.size();
+  out.preamble_found = res.preamble_found;
+  if (!res.preamble_found) {
+    out.bit_errors = payload_bits.size();  // whole packet lost
+    return out;
+  }
+  for (std::size_t i = 0; i < payload_bits.size(); ++i)
+    out.bit_errors += (res.bits[i] != payload_bits[i]) ? 1 : 0;
+  out.received_bits.assign(res.bits.begin(), res.bits.begin() + payload_bits.size());
+  return out;
+}
+
+LinkStats LinkSimulator::run(int packets, std::size_t payload_bytes) {
+  LinkStats stats;
+  for (int p = 0; p < packets; ++p) {
+    const auto payload = rng_.bits(payload_bytes * 8);
+    const auto outcome = send_packet(payload);
+    ++stats.packets;
+    if (!outcome.preamble_found) ++stats.preamble_failures;
+    stats.bit_errors += outcome.bit_errors;
+    stats.total_bits += outcome.bits;
+  }
+  return stats;
+}
+
+}  // namespace rt::sim

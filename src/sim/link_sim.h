@@ -1,0 +1,89 @@
+// End-to-end link simulator: packets through the full RetroTurbo stack.
+//
+// Owns the modulator, channel and demodulator (with offline training
+// performed once at construction, as the paper's one-time offline step),
+// and provides the BER harness every experiment bench builds on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "phy/demodulator.h"
+#include "phy/modulator.h"
+#include "sim/channel.h"
+
+namespace rt::sim {
+
+struct SimOptions {
+  int offline_rank = 3;                 ///< S: truncated KL basis count
+  std::vector<double> offline_yaws_deg = {0.0, 20.0};  ///< offline-training orientations
+  bool online_training = true;          ///< per-packet training (vs oracle templates)
+  bool oracle_templates = false;        ///< perfect channel knowledge (upper bound)
+  int max_pad_slots = 2;                ///< random packet start padding
+  std::uint64_t seed = 42;
+  /// Reuse an already-trained offline model (the one-time offline step does
+  /// not depend on distance/SNR, so sweeps share it across points).
+  std::optional<phy::OfflineModel> shared_offline_model;
+  /// Pose at which oracle templates are collected (default: the operating
+  /// pose). Setting this to the nominal pose while operating elsewhere
+  /// models a receiver with stale, non-adaptive references -- the
+  /// "channel training disabled" ablation of Fig. 16c.
+  std::optional<Pose> oracle_pose;
+};
+
+struct LinkStats {
+  int packets = 0;
+  int preamble_failures = 0;
+  std::size_t bit_errors = 0;
+  std::size_t total_bits = 0;
+
+  /// BER counting lost packets as all-bits-lost (conservative, as a failed
+  /// preamble loses the whole packet).
+  [[nodiscard]] double ber() const {
+    return total_bits == 0 ? 0.0
+                           : static_cast<double>(bit_errors) / static_cast<double>(total_bits);
+  }
+  [[nodiscard]] double packet_loss() const {
+    return packets == 0 ? 0.0 : static_cast<double>(preamble_failures) / packets;
+  }
+};
+
+/// Performs the one-time offline training for a (PHY, tag) pair so sweeps
+/// can share the model via SimOptions::shared_offline_model.
+[[nodiscard]] phy::OfflineModel train_offline_model(const phy::PhyParams& params,
+                                                    const lcm::TagConfig& tag_config,
+                                                    const std::vector<double>& yaws_deg = {0.0},
+                                                    int rank = 3);
+
+class LinkSimulator {
+ public:
+  LinkSimulator(const phy::PhyParams& params, const lcm::TagConfig& tag_config,
+                const ChannelConfig& channel_config, const SimOptions& options = {});
+
+  /// Sends one packet of the given payload bits.
+  struct PacketOutcome {
+    bool preamble_found = false;
+    std::size_t bit_errors = 0;
+    std::size_t bits = 0;
+    std::vector<std::uint8_t> received_bits;  ///< demodulated payload (empty if lost)
+  };
+  [[nodiscard]] PacketOutcome send_packet(std::span<const std::uint8_t> payload_bits);
+
+  /// Paper methodology: `packets` packets of `payload_bytes` random bytes.
+  [[nodiscard]] LinkStats run(int packets, std::size_t payload_bytes = 128);
+
+  [[nodiscard]] const Channel& channel() const { return channel_; }
+  [[nodiscard]] const phy::PhyParams& params() const { return params_; }
+  [[nodiscard]] double snr_db() const { return channel_.snr_db(); }
+
+ private:
+  phy::PhyParams params_;
+  Channel channel_;
+  phy::Modulator modulator_;
+  phy::Demodulator demodulator_;
+  std::optional<phy::PulseBank> oracle_;
+  SimOptions opts_;
+  Rng rng_;
+};
+
+}  // namespace rt::sim

@@ -1,0 +1,62 @@
+// Concurrent multi-tag transmission: waveform-level collision study.
+//
+// Section 8 ("Efficient Multiple Access") notes that concurrent tags could
+// in principle be decoded jointly, but the baseline MAC avoids collisions
+// via TDMA. This helper superimposes the waveforms of several tags (each
+// with its own pose/rotation and gain) so experiments can measure what a
+// collision actually does to the single-tag demodulator -- the
+// quantitative case for the TDMA design.
+#pragma once
+
+#include <vector>
+
+#include "optics/polarization.h"
+#include "signal/awgn.h"
+#include "sim/channel.h"
+
+namespace rt::sim {
+
+struct ConcurrentTag {
+  lcm::TagConfig tag;
+  Pose pose;
+  double relative_gain = 1.0;  ///< amplitude relative to the tag of interest
+  std::vector<lcm::Firing> firings;
+};
+
+/// Synthesizes the superposition of every tag's retroreflected waveform
+/// (linear optical superposition at the photodiodes), then adds AWGN for
+/// the given SNR *of the first (wanted) tag's signal*.
+[[nodiscard]] inline sig::IqWaveform superimpose_tags(const phy::PhyParams& params,
+                                                      const std::vector<ConcurrentTag>& tags,
+                                                      double duration_s, double snr_db,
+                                                      Rng& rng) {
+  RT_ENSURE(!tags.empty(), "need at least one tag");
+  sig::IqWaveform sum(params.sample_rate_hz,
+                      static_cast<std::size_t>(std::ceil(duration_s * params.sample_rate_hz)));
+  double wanted_power = 0.0;
+  for (std::size_t ti = 0; ti < tags.size(); ++ti) {
+    const auto& ct = tags[ti];
+    lcm::TagConfig cfg = ct.tag;
+    cfg.yaw_rad = ct.pose.yaw_rad;
+    lcm::TagArray tag(cfg);
+    auto w = tag.synthesize(ct.firings, params.sample_rate_hz, duration_s);
+    lcm::TagArray idle_tag(cfg);
+    const auto idle = idle_tag.synthesize({}, params.sample_rate_hz, duration_s);
+    const auto rot = optics::roll_rotation(ct.pose.roll_rad) * ct.relative_gain;
+    double p = 0.0;
+    for (std::size_t i = 0; i < sum.size() && i < w.size(); ++i) {
+      const auto v = rot * w[i];
+      sum[i] += v;
+      const auto sig_only = rot * (w[i] - idle[i]);
+      if (ti == 0) p += std::norm(sig_only);
+    }
+    if (ti == 0) wanted_power = p / static_cast<double>(sum.size());
+  }
+  if (wanted_power > 0.0) {
+    const double sigma = std::sqrt(wanted_power / rt::from_db(snr_db) / 2.0);
+    sig::add_noise_sigma(sum, sigma, rng);
+  }
+  return sum;
+}
+
+}  // namespace rt::sim

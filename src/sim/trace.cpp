@@ -1,0 +1,52 @@
+#include "sim/trace.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace rt::sim {
+
+void write_trace_csv(const std::string& path, const sig::IqWaveform& w) {
+  std::ofstream out(path);
+  RT_ENSURE(out.good(), "cannot open trace file for writing: " + path);
+  out << "# sample_rate_hz=" << w.sample_rate_hz << "\n";
+  out << "index,i,q\n";
+  out.precision(12);
+  for (std::size_t i = 0; i < w.size(); ++i)
+    out << i << ',' << w[i].real() << ',' << w[i].imag() << '\n';
+  RT_ENSURE(out.good(), "error while writing trace file: " + path);
+}
+
+sig::IqWaveform read_trace_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) throw RuntimeError("cannot open trace file: " + path);
+  std::string line;
+  // Header comment with the sample rate.
+  if (!std::getline(in, line) || line.rfind("# sample_rate_hz=", 0) != 0)
+    throw RuntimeError("trace file missing sample-rate header: " + path);
+  const double fs = std::stod(line.substr(std::string("# sample_rate_hz=").size()));
+  if (fs <= 0.0) throw RuntimeError("trace file has invalid sample rate: " + path);
+  if (!std::getline(in, line) || line != "index,i,q")
+    throw RuntimeError("trace file missing column header: " + path);
+
+  std::vector<sig::Complex> samples;
+  std::size_t expect = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    std::string idx_s;
+    std::string i_s;
+    std::string q_s;
+    if (!std::getline(row, idx_s, ',') || !std::getline(row, i_s, ',') ||
+        !std::getline(row, q_s))
+      throw RuntimeError("malformed trace row: " + line);
+    if (static_cast<std::size_t>(std::stoull(idx_s)) != expect)
+      throw RuntimeError("trace rows out of order at index " + idx_s);
+    samples.emplace_back(std::stod(i_s), std::stod(q_s));
+    ++expect;
+  }
+  return {fs, std::move(samples)};
+}
+
+}  // namespace rt::sim

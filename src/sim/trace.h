@@ -1,0 +1,22 @@
+// Waveform trace recording and replay (CSV).
+//
+// The paper's section 7.3 evaluation is trace-driven: reference waveforms
+// are recorded once and emulation superimposes noise offline. These
+// helpers persist complex baseband traces so experiments can be replayed
+// and inspected outside the simulator.
+#pragma once
+
+#include <string>
+
+#include "signal/waveform.h"
+
+namespace rt::sim {
+
+/// Writes `w` as CSV: header line, then one `index,i,q` row per sample.
+void write_trace_csv(const std::string& path, const sig::IqWaveform& w);
+
+/// Reads a trace written by write_trace_csv. Throws RuntimeError on
+/// malformed input.
+[[nodiscard]] sig::IqWaveform read_trace_csv(const std::string& path);
+
+}  // namespace rt::sim

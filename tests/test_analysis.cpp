@@ -1,0 +1,233 @@
+// Tests for the section-5 analysis framework: LCM characterization tables,
+// code-matrix emulation, minimum distance, emulation error and the
+// parameter optimizer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/emulation_error.h"
+#include "analysis/emulator.h"
+#include "analysis/min_distance.h"
+#include "analysis/optimizer.h"
+#include "analysis/scheme.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "lcm/lc_cell.h"
+
+namespace rt::analysis {
+namespace {
+
+constexpr double kFs = 40e3;
+constexpr double kSlot = 0.5e-3;
+
+const LcmTable& small_table() {
+  static const LcmTable table = characterize_lcm(lcm::LcTimings{}, kSlot, kFs, 8);
+  return table;
+}
+
+TEST(LcmTable, CharacterizationCoversAllWindows) {
+  const auto& t = small_table();
+  EXPECT_EQ(t.order(), 8);
+  EXPECT_EQ(t.slot_samples(), 20u);
+  // All-zero window: steady relaxed response, constant -1.
+  const auto zero = t.response(0);
+  for (const auto v : zero) EXPECT_NEAR(v, -1.0, 0.02);
+  // All-ones window: fully charged, constant +1.
+  const auto ones = t.response((1u << 8) - 1);
+  EXPECT_NEAR(ones.back(), 1.0, 0.05);
+}
+
+TEST(LcmTable, CurrentBitDominatesResponse) {
+  const auto& t = small_table();
+  // Window ...0 with current bit 1 ramps up; current bit 0 after long
+  // charge history decays.
+  const auto rise = t.response(1);  // history zeros, current driven
+  EXPECT_GT(rise.back(), rise.front());
+  const auto fall = t.response((1u << 8) - 2);  // all driven except current
+  EXPECT_LE(fall.back(), fall.front() + 1e-9);
+}
+
+TEST(Emulator, ApproximatesDirectCellSimulation) {
+  // Table-driven emulation approximates stepping the ODE cell directly.
+  // It is NOT exact: the table's V-slot memory misses older drive history
+  // (exactly the finite-memory error the paper's Tab. 2 quantifies -- 21%
+  // worst case at V=8), so we bound the RMS tightly and the worst sample
+  // loosely.
+  const auto& t = small_table();
+  const std::vector<std::uint8_t> bits = {0, 1, 1, 0, 0, 0, 1, 0};
+  CodeMatrix cm;
+  cm.drive = linalg::RealMatrix(1, bits.size());
+  cm.gains = {Complex(1.0, 0.0)};
+  for (std::size_t j = 0; j < bits.size(); ++j) cm.drive(0, j) = bits[j];
+  const auto emu = emulate(t, cm, kFs);
+
+  lcm::LcCell cell;
+  const double dt = 1.0 / kFs;
+  double max_err = 0.0;
+  double sq = 0.0;
+  std::size_t n = 0;
+  for (std::size_t j = 0; j < bits.size(); ++j)
+    for (std::size_t k = 0; k < t.slot_samples(); ++k) {
+      const double direct = 2.0 * cell.step(bits[j] != 0, dt) - 1.0;
+      const double err = std::abs(direct - emu[j * t.slot_samples() + k].real());
+      max_err = std::max(max_err, err);
+      sq += err * err;
+      ++n;
+    }
+  EXPECT_LT(std::sqrt(sq / static_cast<double>(n)), 0.08);
+  EXPECT_LT(max_err, 0.4);  // worst window, paper-consistent finite-V error
+}
+
+TEST(Emulator, GainsApplyComplexAxes) {
+  const auto& t = small_table();
+  CodeMatrix cm;
+  cm.drive = linalg::RealMatrix(2, 4);
+  cm.drive(0, 1) = 1.0;
+  cm.drive(1, 1) = 1.0;
+  cm.gains = {Complex(1.0, 0.0), Complex(0.0, 0.5)};
+  const auto w = emulate(t, cm, kFs);
+  // Imag part must be exactly half the (pixel-0 minus baseline... both
+  // pixels share dynamics, so imag = 0.5 * real contribution of pixel 0).
+  for (std::size_t i = 0; i < w.size(); ++i)
+    EXPECT_NEAR(w[i].imag(), 0.5 * w[i].real(), 1e-12);
+}
+
+TEST(Emulator, RejectsNonBinaryDrive) {
+  CodeMatrix cm;
+  cm.drive = linalg::RealMatrix(1, 2);
+  cm.drive(0, 0) = 0.5;
+  cm.gains = {Complex(1.0, 0.0)};
+  EXPECT_THROW((void)emulate(small_table(), cm, kFs), PreconditionError);
+}
+
+TEST(EmulationError, DecreasesWithTableOrder) {
+  // Tab. 2 behaviour: higher V approximates the LCM better.
+  const auto ref = characterize_lcm(lcm::LcTimings{}, kSlot, kFs, 12);
+  EmulationErrorOptions opt;
+  opt.sequences = 16;
+  opt.sequence_slots = 48;
+  double prev_avg = 1e9;
+  for (const int v : {2, 4, 6, 8}) {
+    const auto t = characterize_lcm(lcm::LcTimings{}, kSlot, kFs, v);
+    const auto e = emulation_error(t, ref, kFs, opt);
+    EXPECT_LT(e.avg_rel_error, prev_avg + 1e-6) << "V=" << v;
+    EXPECT_LE(e.avg_rel_error, e.max_rel_error);
+    prev_avg = e.avg_rel_error;
+  }
+  // And with enough memory the error becomes small.
+  const auto t8 = characterize_lcm(lcm::LcTimings{}, kSlot, kFs, 8);
+  EXPECT_LT(emulation_error(t8, ref, kFs, opt).avg_rel_error, 0.05);
+}
+
+TEST(Scheme, OokCodeMatrixShape) {
+  const OokScheme ook(4, kSlot, 8);
+  EXPECT_EQ(ook.data_bits(), 4);
+  EXPECT_NEAR(ook.data_rate_bps(), 250.0, 1e-9);  // 1 bit / 4 ms: sub-Kbps baseline
+  const std::vector<std::uint8_t> bits = {1, 0, 1, 1};
+  const auto cm = ook.encode(bits);
+  EXPECT_EQ(cm.pixels(), 1u);
+  EXPECT_DOUBLE_EQ(cm.drive(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(cm.drive(0, 8), 0.0);
+  EXPECT_DOUBLE_EQ(cm.drive(0, 16), 1.0);
+}
+
+TEST(Scheme, DsmPqamRateMatchesPaperOperatingPoints) {
+  // 8 Kbps: L=8, 16-PQAM, T = 0.5 ms.
+  const DsmPqamScheme s8(8, 2, kSlot, 1);
+  EXPECT_NEAR(s8.data_rate_bps(), 8000.0, 1e-9);
+  // 1 Kbps: L=8, 4-PQAM, T = 2 ms (4 grid slots).
+  const DsmPqamScheme s1(8, 1, kSlot, 4);
+  EXPECT_NEAR(s1.data_rate_bps(), 1000.0, 1e-9);
+  // 32 Kbps: L=16, 256-PQAM, T = 0.25 ms -- needs a 0.25 ms grid.
+  const DsmPqamScheme s32(16, 4, 0.25e-3, 1);
+  EXPECT_NEAR(s32.data_rate_bps(), 32000.0, 1e-9);
+}
+
+TEST(Scheme, DsmPqamEncodePlacesBinaryWeightedPixels) {
+  const DsmPqamScheme s(2, 2, kSlot, 1, true, 2);
+  Rng rng(3);
+  const auto bits = rng.bits(static_cast<std::size_t>(s.data_bits()));
+  const auto cm = s.encode(bits);
+  EXPECT_EQ(cm.pixels(), 8u);  // 2 groups x 2 modules x 2 weight pixels
+  // Gains: I pixels real, Q pixels imaginary, weights 2/3 and 1/3.
+  EXPECT_NEAR(cm.gains[0].real(), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(cm.gains[1].real(), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(cm.gains[4].imag(), 2.0 / 3.0, 1e-12);
+  cm.validate();
+}
+
+TEST(MinDistance, HigherOrderPqamReducesDistance) {
+  // At the same symbol timing, packing more levels into the same amplitude
+  // range must shrink the minimum distance (higher SNR requirement).
+  const auto& t = small_table();
+  MinDistanceOptions opt;
+  opt.exhaustive_bit_limit = 8;
+  opt.random_words = 4;
+  const DsmPqamScheme coarse(2, 1, kSlot, 4, true, 2);  // 4-PQAM
+  const DsmPqamScheme fine(2, 2, kSlot, 4, true, 2);    // 16-PQAM
+  const auto d_coarse = min_distance(t, coarse, kFs, opt);
+  const auto d_fine = min_distance(t, fine, kFs, opt);
+  EXPECT_GT(d_coarse.d, d_fine.d);
+  EXPECT_GT(relative_threshold_db(d_fine.d, d_coarse.d), 3.0);
+}
+
+TEST(MinDistance, SlowerRateIncreasesDistance) {
+  const auto& t = small_table();
+  MinDistanceOptions opt;
+  opt.exhaustive_bit_limit = 4;
+  const DsmPqamScheme fast(2, 1, kSlot, 1, true, 1);  // T = 0.5 ms
+  const DsmPqamScheme slow(2, 1, kSlot, 4, true, 1);  // T = 2 ms
+  EXPECT_GT(min_distance(t, slow, kFs, opt).d, min_distance(t, fast, kFs, opt).d);
+}
+
+TEST(MinDistance, NeighbourSearchAgreesWithExhaustiveOnSmallScheme) {
+  const auto& t = small_table();
+  const DsmPqamScheme s(2, 1, kSlot, 2, true, 2);  // 4 bits
+  MinDistanceOptions exhaustive;
+  exhaustive.exhaustive_bit_limit = 8;
+  MinDistanceOptions neighbour;
+  neighbour.exhaustive_bit_limit = 0;
+  neighbour.random_words = 12;
+  const auto de = min_distance(t, s, kFs, exhaustive);
+  const auto dn = min_distance(t, s, kFs, neighbour);
+  // Neighbour search is an upper bound that should be tight here.
+  EXPECT_GE(dn.d, de.d - 1e-12);
+  EXPECT_LT(dn.d, de.d * 1.5);
+}
+
+TEST(Optimizer, FindsFeasibleGridAndBestPoint) {
+  const auto& t = small_table();
+  OptimizerOptions opt;
+  opt.dsm_orders = {4, 8};
+  opt.bits_per_axis = {1, 2};
+  opt.distance.exhaustive_bit_limit = 0;
+  opt.distance.random_words = 2;
+  opt.payload_slots = 4;
+  const auto res = optimize_parameters(t, 4000.0, opt);
+  ASSERT_TRUE(res.best.has_value());
+  EXPECT_FALSE(res.grid.empty());
+  for (const auto& pt : res.grid) {
+    // Every grid point achieves the target rate.
+    const double rate = 2.0 * pt.bits_per_axis / pt.slot_s;
+    EXPECT_NEAR(rate, 4000.0, 40.0);
+    EXPECT_GE(pt.threshold_db_rel, -1e-9);
+  }
+  EXPECT_NEAR(res.best->threshold_db_rel, 0.0, 1e-9);
+}
+
+TEST(Optimizer, LowerRateAchievesBetterBestDistance) {
+  const auto& t = small_table();
+  OptimizerOptions opt;
+  opt.dsm_orders = {8};
+  opt.bits_per_axis = {1};
+  opt.distance.exhaustive_bit_limit = 0;
+  opt.distance.random_words = 2;
+  opt.payload_slots = 4;
+  const auto r1 = optimize_parameters(t, 1000.0, opt);
+  const auto r4 = optimize_parameters(t, 4000.0, opt);
+  ASSERT_TRUE(r1.best && r4.best);
+  EXPECT_GT(r1.best->d, r4.best->d);
+}
+
+}  // namespace
+}  // namespace rt::analysis

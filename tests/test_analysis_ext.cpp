@@ -1,0 +1,125 @@
+// Tests for the analysis extensions (union bound) and the multi-tag
+// collision study.
+#include <gtest/gtest.h>
+
+#include "analysis/union_bound.h"
+#include "common/units.h"
+#include "phy/demodulator.h"
+#include "phy/modulator.h"
+#include "sim/link_sim.h"
+#include "sim/multi_tag.h"
+
+namespace rt {
+namespace {
+
+TEST(UnionBound, QFunctionSanity) {
+  EXPECT_NEAR(analysis::q_function(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(analysis::q_function(1.0), 0.1587, 1e-3);
+  EXPECT_LT(analysis::q_function(5.0), 3e-7);
+}
+
+TEST(UnionBound, SpectrumContainsSingleFlipEvents) {
+  const auto table = analysis::characterize_lcm(lcm::LcTimings{}, 0.5e-3, 40e3, 6);
+  const analysis::DsmPqamScheme scheme(2, 1, 0.5e-3, 2, true, 2);
+  const auto spec = analysis::distance_spectrum(table, scheme, 40e3, 4);
+  ASSERT_FALSE(spec.lines.empty());
+  int total = 0;
+  for (const auto& l : spec.lines) {
+    EXPECT_GT(l.distance, 0.0);
+    total += l.multiplicity;
+  }
+  EXPECT_EQ(total, 4 * scheme.data_bits());  // every flip of every base word
+}
+
+TEST(UnionBound, BerDecreasesWithSnrAndMatchesWaterfallShape) {
+  const auto table = analysis::characterize_lcm(lcm::LcTimings{}, 0.5e-3, 40e3, 6);
+  const analysis::DsmPqamScheme scheme(2, 1, 0.5e-3, 2, true, 2);
+  const auto spec = analysis::distance_spectrum(table, scheme, 40e3, 4);
+  double prev = 1.0;
+  for (double sigma = 1.0; sigma > 0.01; sigma *= 0.6) {
+    const double ber = analysis::union_bound_ber(spec, sigma);
+    EXPECT_LE(ber, prev + 1e-12);
+    prev = ber;
+  }
+  EXPECT_LT(prev, 1e-6);  // waterfall reaches deep BER at low noise
+  EXPECT_THROW((void)analysis::union_bound_ber(spec, 0.0), PreconditionError);
+}
+
+class MultiTagTest : public ::testing::Test {
+ protected:
+  phy::PhyParams params() {
+    phy::PhyParams p;
+    p.dsm_order = 4;
+    p.bits_per_axis = 1;
+    p.slot_s = rt::ms(1.0);
+    p.charge_s = rt::ms(0.5);
+    p.preamble_slots = 32;
+    p.equalizer_branches = 8;
+    return p;
+  }
+};
+
+TEST_F(MultiTagTest, ConcurrentTransmissionBreaksSingleTagDemodulation) {
+  // Two tags answering at once (the collision TDMA exists to avoid): the
+  // single-tag receiver must degrade badly versus the clean case.
+  const auto p = params();
+  const phy::Modulator mod(p);
+  Rng rng(3);
+  const auto bits_a = rng.bits(64);
+  const auto bits_b = rng.bits(64);
+  const auto pkt_a = mod.modulate(bits_a);
+  const auto pkt_b = mod.modulate(bits_b);
+
+  const auto demod_ber = [&](const std::vector<sim::ConcurrentTag>& tags) {
+    Rng noise(9);
+    const auto rx = sim::superimpose_tags(p, tags, pkt_a.duration_s + p.symbol_duration_s(),
+                                          35.0, noise);
+    const phy::Demodulator demod(p, sim::train_offline_model(p, p.tag_config()));
+    phy::DemodOptions opts;
+    opts.search_limit = 2 * p.samples_per_slot();
+    const auto res = demod.demodulate(rx, pkt_a.layout.payload_slots, opts);
+    if (!res.preamble_found) return 1.0;
+    std::size_t errors = 0;
+    for (std::size_t i = 0; i < bits_a.size(); ++i) errors += res.bits[i] != bits_a[i];
+    return static_cast<double>(errors) / static_cast<double>(bits_a.size());
+  };
+
+  sim::ConcurrentTag wanted{p.tag_config(), sim::Pose{}, 1.0, pkt_a.firings};
+  const double clean = demod_ber({wanted});
+  EXPECT_LT(clean, 0.01);
+
+  sim::ConcurrentTag interferer{p.tag_config(), sim::Pose{2.0, rt::deg_to_rad(30.0), 0.0}, 0.8,
+                                pkt_b.firings};
+  interferer.tag.seed = 77;
+  const double collided = demod_ber({wanted, interferer});
+  EXPECT_GT(collided, 10.0 * std::max(clean, 0.005))
+      << "a concurrent equal-power tag must corrupt the uplink";
+}
+
+TEST_F(MultiTagTest, WeakInterfererOnlyDegradesGracefully) {
+  // A far-away tag 20 dB down: the link survives (the directionality
+  // argument for why VLBC collisions are rarer than RF ones).
+  const auto p = params();
+  const phy::Modulator mod(p);
+  Rng rng(5);
+  const auto bits_a = rng.bits(64);
+  const auto pkt_a = mod.modulate(bits_a);
+  const auto pkt_b = mod.modulate(rng.bits(64));
+  sim::ConcurrentTag wanted{p.tag_config(), sim::Pose{}, 1.0, pkt_a.firings};
+  sim::ConcurrentTag weak{p.tag_config(), sim::Pose{}, 0.1, pkt_b.firings};
+  weak.tag.seed = 55;
+  Rng noise(11);
+  const auto rx = sim::superimpose_tags(p, {wanted, weak},
+                                        pkt_a.duration_s + p.symbol_duration_s(), 35.0, noise);
+  const phy::Demodulator demod(p, sim::train_offline_model(p, p.tag_config()));
+  phy::DemodOptions opts;
+  opts.search_limit = 2 * p.samples_per_slot();
+  const auto res = demod.demodulate(rx, pkt_a.layout.payload_slots, opts);
+  ASSERT_TRUE(res.preamble_found);
+  std::size_t errors = 0;
+  for (std::size_t i = 0; i < bits_a.size(); ++i) errors += res.bits[i] != bits_a[i];
+  EXPECT_LT(static_cast<double>(errors) / static_cast<double>(bits_a.size()), 0.05);
+}
+
+}  // namespace
+}  // namespace rt

@@ -1,0 +1,163 @@
+// Unit + property tests for GF(256), Reed-Solomon and CRC.
+#include <gtest/gtest.h>
+
+#include "coding/crc.h"
+#include "coding/gf256.h"
+#include "coding/reed_solomon.h"
+#include "common/rng.h"
+
+namespace rt::coding {
+namespace {
+
+TEST(Gf256, FieldAxiomsSpotChecks) {
+  const auto& gf = Gf256::instance();
+  // Multiplicative identity and zero.
+  for (int a = 0; a < 256; ++a) {
+    EXPECT_EQ(gf.mul(static_cast<std::uint8_t>(a), 1), a);
+    EXPECT_EQ(gf.mul(static_cast<std::uint8_t>(a), 0), 0);
+  }
+  // Every non-zero element has an inverse.
+  for (int a = 1; a < 256; ++a) {
+    const auto inv = gf.inv(static_cast<std::uint8_t>(a));
+    EXPECT_EQ(gf.mul(static_cast<std::uint8_t>(a), inv), 1) << a;
+  }
+}
+
+TEST(Gf256, MulCommutativeAssociative) {
+  const auto& gf = Gf256::instance();
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    const auto b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    const auto c = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    EXPECT_EQ(gf.mul(a, b), gf.mul(b, a));
+    EXPECT_EQ(gf.mul(a, gf.mul(b, c)), gf.mul(gf.mul(a, b), c));
+    // Distributivity over XOR addition.
+    EXPECT_EQ(gf.mul(a, gf.add(b, c)), gf.add(gf.mul(a, b), gf.mul(a, c)));
+  }
+}
+
+TEST(Gf256, PowAlphaCyclic) {
+  const auto& gf = Gf256::instance();
+  EXPECT_EQ(gf.pow_alpha(0), 1);
+  EXPECT_EQ(gf.pow_alpha(1), 2);
+  EXPECT_EQ(gf.pow_alpha(255), 1);
+  EXPECT_EQ(gf.pow_alpha(-1), gf.inv(2));
+}
+
+TEST(ReedSolomon, EncodeDecodeNoErrors) {
+  ReedSolomon rs(255, 223);
+  Rng rng(7);
+  const auto data = rng.bytes(223);
+  const auto cw = rs.encode_block(data);
+  EXPECT_EQ(cw.size(), 255u);
+  const auto decoded = rs.decode_block(cw);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, data);
+}
+
+class RsErrorCountTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RsErrorCountTest, CorrectsUpToTErrors) {
+  ReedSolomon rs(63, 47);  // t = 8
+  Rng rng(11 + static_cast<std::uint64_t>(GetParam()));
+  const auto data = rng.bytes(47);
+  auto cw = rs.encode_block(data);
+  // Inject `errors` distinct symbol errors.
+  const int errors = GetParam();
+  std::vector<std::size_t> pos;
+  while (pos.size() < static_cast<std::size_t>(errors)) {
+    const auto p = static_cast<std::size_t>(rng.uniform_int(0, 62));
+    if (std::find(pos.begin(), pos.end(), p) == pos.end()) pos.push_back(p);
+  }
+  for (const auto p : pos) cw[p] ^= static_cast<std::uint8_t>(rng.uniform_int(1, 255));
+  const auto decoded = rs.decode_block(cw);
+  ASSERT_TRUE(decoded.has_value()) << errors << " errors";
+  EXPECT_EQ(*decoded, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(UpToT, RsErrorCountTest, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(ReedSolomon, DetectsUncorrectableBeyondT) {
+  ReedSolomon rs(63, 55);  // t = 4
+  Rng rng(13);
+  const auto data = rng.bytes(55);
+  auto cw = rs.encode_block(data);
+  // 12 errors: far beyond t; decoder must fail or miscorrect detectably.
+  int failures = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    auto corrupted = cw;
+    std::vector<std::size_t> pos;
+    while (pos.size() < 12) {
+      const auto p = static_cast<std::size_t>(rng.uniform_int(0, 62));
+      if (std::find(pos.begin(), pos.end(), p) == pos.end()) pos.push_back(p);
+    }
+    for (const auto p : pos) corrupted[p] ^= static_cast<std::uint8_t>(rng.uniform_int(1, 255));
+    const auto decoded = rs.decode_block(corrupted);
+    if (!decoded || *decoded != data) ++failures;
+  }
+  // Virtually all trials must be flagged/failed (miscorrection is possible
+  // but astronomically rare at this error weight).
+  EXPECT_GE(failures, 49);
+}
+
+TEST(ReedSolomon, MultiBlockMessageRoundTrip) {
+  ReedSolomon rs(15, 11);
+  Rng rng(17);
+  const auto msg = rng.bytes(100);  // not a multiple of k=11
+  const auto coded = rs.encode(msg);
+  EXPECT_EQ(coded.size() % 15, 0u);
+  const auto decoded = rs.decode(coded, msg.size());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, msg);
+}
+
+TEST(ReedSolomon, MultiBlockCorrectsScatteredErrors) {
+  ReedSolomon rs(15, 11);  // t = 2 per block
+  Rng rng(19);
+  const auto msg = rng.bytes(44);
+  auto coded = rs.encode(msg);
+  // One error in each block.
+  for (std::size_t b = 0; b < coded.size() / 15; ++b)
+    coded[b * 15 + (b % 15)] ^= 0xA5;
+  const auto decoded = rs.decode(coded, msg.size());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, msg);
+}
+
+TEST(ReedSolomon, ParamValidation) {
+  EXPECT_THROW(ReedSolomon(256, 100), PreconditionError);
+  EXPECT_THROW(ReedSolomon(10, 10), PreconditionError);
+  EXPECT_THROW(ReedSolomon(10, 0), PreconditionError);
+  ReedSolomon rs(255, 223);
+  EXPECT_EQ(rs.correctable_errors(), 16u);
+  EXPECT_NEAR(rs.code_rate(), 223.0 / 255.0, 1e-12);
+}
+
+TEST(Crc, Crc16KnownVector) {
+  const std::string s = "123456789";
+  const std::vector<std::uint8_t> data(s.begin(), s.end());
+  EXPECT_EQ(crc16_ccitt(data), 0x29B1);  // CRC-16/CCITT-FALSE check value
+}
+
+TEST(Crc, Crc32KnownVector) {
+  const std::string s = "123456789";
+  const std::vector<std::uint8_t> data(s.begin(), s.end());
+  EXPECT_EQ(crc32(data), 0xCBF43926u);  // CRC-32/IEEE check value
+}
+
+TEST(Crc, DetectsSingleBitFlip) {
+  Rng rng(23);
+  const auto data = rng.bytes(128);
+  const auto ref = crc16_ccitt(data);
+  for (int trial = 0; trial < 64; ++trial) {
+    auto mutated = data;
+    const auto byte = static_cast<std::size_t>(rng.uniform_int(0, 127));
+    const auto bit = static_cast<int>(rng.uniform_int(0, 7));
+    mutated[byte] ^= static_cast<std::uint8_t>(1U << bit);
+    EXPECT_NE(crc16_ccitt(mutated), ref);
+  }
+}
+
+}  // namespace
+}  // namespace rt::coding

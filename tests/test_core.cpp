@@ -1,0 +1,81 @@
+// Tests for the retroturbo:: public facade.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/retroturbo.h"
+
+namespace retroturbo {
+namespace {
+
+/// Fast facade config for tests: low rate preset overridden with the small
+/// test PHY, short preamble, good SNR.
+LinkConfig fast_config() {
+  LinkConfig cfg;
+  rt::phy::PhyParams p;
+  p.dsm_order = 4;
+  p.bits_per_axis = 1;
+  p.slot_s = rt::ms(1.0);
+  p.charge_s = rt::ms(0.5);
+  p.preamble_slots = 32;
+  p.equalizer_branches = 8;
+  cfg.custom_phy = p;
+  cfg.snr_override_db = 35.0;
+  return cfg;
+}
+
+TEST(Facade, VersionAndPresets) {
+  EXPECT_FALSE(version().empty());
+  EXPECT_NEAR(phy_params_for(RatePreset::k8kbps).data_rate_bps(), 8000.0, 1e-9);
+  EXPECT_NEAR(phy_params_for(RatePreset::k32kbps).data_rate_bps(), 32000.0, 1e-9);
+  EXPECT_NEAR(phy_params_for(RatePreset::k1kbps).data_rate_bps(), 1000.0, 1e-9);
+}
+
+TEST(Facade, SendBytesRoundTrip) {
+  Link link(fast_config());
+  rt::Rng rng(5);
+  const auto payload = rng.bytes(24);
+  const auto r = link.send_bytes(payload);
+  ASSERT_TRUE(r.delivered);
+  EXPECT_EQ(r.received, payload);
+  EXPECT_EQ(r.attempts, 1);
+}
+
+TEST(Facade, CodedLinkConfig) {
+  auto cfg = fast_config();
+  cfg.rs_n = 15;
+  cfg.rs_k = 11;
+  cfg.snr_override_db = 30.0;
+  Link link(cfg);
+  rt::Rng rng(6);
+  const auto payload = rng.bytes(16);
+  const auto r = link.send_bytes(payload);
+  ASSERT_TRUE(r.delivered);
+  EXPECT_EQ(r.received, payload);
+}
+
+TEST(Facade, MeasureBerReportsStats) {
+  Link link(fast_config());
+  const auto stats = link.measure_ber(2, 8);
+  EXPECT_EQ(stats.packets, 2);
+  EXPECT_EQ(stats.total_bits, 2u * 64u);
+  EXPECT_EQ(stats.bit_errors, 0u);
+}
+
+TEST(Facade, SnrFollowsDeployment) {
+  auto cfg = fast_config();
+  cfg.snr_override_db.reset();
+  cfg.distance_m = 7.5;
+  Link link(cfg);
+  EXPECT_NEAR(link.snr_db(), 28.0, 1e-9);  // narrow-beam anchor point
+}
+
+TEST(Facade, LinkConfigDefaultsAreUsable) {
+  // The default 8 Kbps config must at least construct and report rates
+  // (constructing the full L=8 stack is the expensive real configuration).
+  const LinkConfig cfg;
+  EXPECT_EQ(cfg.rate, RatePreset::k8kbps);
+  EXPECT_NEAR(phy_params_for(cfg.rate).data_rate_bps(), 8000.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace retroturbo

@@ -1,0 +1,351 @@
+// Tests for the extension modules: SNR estimation, AGC, ADC quantization,
+// Stokes/Mueller polarization calculus, the downlink/inventory protocol,
+// the block interleaver and the convolutional code.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "coding/convolutional.h"
+#include "coding/interleaver.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "frontend/adc.h"
+#include "frontend/agc.h"
+#include "mac/inventory.h"
+#include "optics/polarization.h"
+#include "optics/stokes.h"
+#include "signal/awgn.h"
+#include "signal/snr_estimator.h"
+
+namespace rt {
+namespace {
+
+// ----------------------------------------------------------- SNR est --
+
+TEST(SnrEstimator, ReferenceBasedEstimateIsAccurate) {
+  Rng rng(3);
+  const std::size_t n = 20000;
+  std::vector<sig::Complex> ref(n);
+  for (auto& v : ref) v = sig::Complex(rng.gaussian(), rng.gaussian());
+  for (const double snr_db : {5.0, 15.0, 30.0}) {
+    double p_sig = 0.0;
+    for (const auto& v : ref) p_sig += std::norm(v);
+    p_sig /= static_cast<double>(n);
+    const double sigma = std::sqrt(p_sig / rt::from_db(snr_db) / 2.0);
+    std::vector<sig::Complex> rx(n);
+    for (std::size_t i = 0; i < n; ++i)
+      rx[i] = ref[i] + sig::Complex(rng.gaussian(0.0, sigma), rng.gaussian(0.0, sigma));
+    const auto est = sig::estimate_snr(rx, ref);
+    EXPECT_NEAR(est.snr_db, snr_db, 0.3) << snr_db;
+  }
+}
+
+TEST(SnrEstimator, BlindEstimateOnConstantEnvelope) {
+  Rng rng(5);
+  std::vector<sig::Complex> rx(50000, sig::Complex(2.0, 1.0));
+  const double p_sig = std::norm(sig::Complex(2.0, 1.0));
+  const double snr_db = 12.0;
+  const double sigma = std::sqrt(p_sig / rt::from_db(snr_db) / 2.0);
+  for (auto& v : rx) v += sig::Complex(rng.gaussian(0.0, sigma), rng.gaussian(0.0, sigma));
+  const auto est = sig::estimate_snr_blind(rx);
+  EXPECT_NEAR(est.snr_db, snr_db, 0.4);
+}
+
+TEST(SnrEstimator, Validation) {
+  const std::vector<sig::Complex> a(4), b(5);
+  EXPECT_THROW((void)sig::estimate_snr(a, b), PreconditionError);
+  EXPECT_THROW((void)sig::estimate_snr_blind(std::span<const sig::Complex>(a)), PreconditionError);
+}
+
+// ---------------------------------------------------------------- AGC --
+
+TEST(Agc, ConvergesToTargetRms) {
+  frontend::AgcConfig cfg;
+  cfg.target_rms = 1.0;
+  frontend::Agc agc(cfg);
+  sig::IqWaveform in(40e3, 8000);
+  for (auto& v : in.samples) v = sig::Complex(0.02, 0.0);  // 34 dB below target
+  const auto out = agc.apply(in);
+  // After convergence, the tail of the output sits at the target RMS.
+  double p = 0.0;
+  for (std::size_t i = out.size() - 500; i < out.size(); ++i) p += std::norm(out[i]);
+  EXPECT_NEAR(std::sqrt(p / 500.0), 1.0, 0.05);
+}
+
+TEST(Agc, SlewLimitBoundsPerWindowChange) {
+  frontend::AgcConfig cfg;
+  cfg.max_step = 0.1;
+  frontend::Agc agc(cfg);
+  sig::IqWaveform in(40e3, 400);  // exactly two 5 ms windows
+  for (auto& v : in.samples) v = sig::Complex(1e-3, 0.0);
+  (void)agc.apply(in);
+  // Two windows => gain grew by at most (1.1)^2.
+  EXPECT_LE(agc.gain(), 1.1 * 1.1 + 1e-9);
+}
+
+TEST(Agc, GainClampedToConfiguredRange) {
+  frontend::AgcConfig cfg;
+  cfg.max_gain = 4.0;
+  cfg.max_step = 0.9;
+  frontend::Agc agc(cfg);
+  sig::IqWaveform in(40e3, 40000);
+  for (auto& v : in.samples) v = sig::Complex(1e-6, 0.0);
+  (void)agc.apply(in);
+  EXPECT_LE(agc.gain(), 4.0 + 1e-12);
+  EXPECT_THROW(agc.reset(100.0), PreconditionError);
+}
+
+// ---------------------------------------------------------------- ADC --
+
+TEST(Adc, QuantizesToGridAndClips) {
+  frontend::Adc adc(12, 1.0);
+  EXPECT_NEAR(adc.quantize(0.5), 0.5, adc.step());
+  EXPECT_DOUBLE_EQ(adc.quantize(2.0), adc.quantize(1.0));  // clipped at the rail
+  EXPECT_DOUBLE_EQ(adc.quantize(-5.0), adc.quantize(-1.0));
+  EXPECT_NEAR(adc.ideal_snr_db(), 74.0, 0.1);
+}
+
+TEST(Adc, QuantizationNoiseMatchesResolution) {
+  Rng rng(7);
+  frontend::Adc adc(12, 1.0);
+  sig::Waveform in(40e3, 50000);
+  for (auto& v : in.samples) v = rng.uniform(-0.9, 0.9);
+  const auto out = adc.convert(in);
+  double err = 0.0;
+  for (std::size_t i = 0; i < in.size(); ++i) err += (out[i] - in[i]) * (out[i] - in[i]);
+  err /= static_cast<double>(in.size());
+  // Uniform quantization noise variance = step^2 / 12.
+  EXPECT_NEAR(err, adc.step() * adc.step() / 12.0, 0.2 * adc.step() * adc.step() / 12.0);
+}
+
+TEST(Adc, TwelveBitsTransparentToPhySignals) {
+  // 12-bit conversion must not disturb a signal that uses a healthy chunk
+  // of the range: quantization SNR ~74 dB >> link SNR.
+  frontend::Adc adc(12, 4.0);
+  sig::IqWaveform w(40e3, 1000);
+  for (std::size_t i = 0; i < w.size(); ++i)
+    w[i] = {2.0 * std::sin(0.01 * static_cast<double>(i)),
+            2.0 * std::cos(0.013 * static_cast<double>(i))};
+  const auto q = adc.convert(w);
+  double err = 0.0;
+  double ref = 0.0;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    err += std::norm(q[i] - w[i]);
+    ref += std::norm(w[i]);
+  }
+  EXPECT_LT(rt::to_db(err / ref), -60.0);
+}
+
+// ------------------------------------------------------------- Stokes --
+
+TEST(Stokes, MalusLawEmergesFromMuellerCalculus) {
+  for (double in_angle = 0.0; in_angle < rt::kPi; in_angle += 0.2) {
+    for (double pol = 0.0; pol < rt::kPi; pol += 0.25) {
+      const auto s = optics::Stokes::linear(1.0, in_angle);
+      const double direct = optics::malus_intensity({1.0, in_angle, 1.0}, pol);
+      EXPECT_NEAR(optics::detect_through_polarizer(s, pol), direct, 1e-12);
+    }
+  }
+}
+
+TEST(Stokes, PdrReadingMatchesChannelCoefficient) {
+  // The scalar fast-path coefficient cos 2(theta_t - theta_r) is exactly
+  // the Mueller-calculus PDR reading.
+  for (double t = 0.0; t < rt::kPi; t += 0.17) {
+    for (double r = 0.0; r < rt::kPi; r += 0.23) {
+      const auto s = optics::Stokes::linear(1.0, t);
+      EXPECT_NEAR(optics::pdr_reading(s, r), optics::channel_coefficient(t, r), 1e-12);
+    }
+  }
+}
+
+TEST(Stokes, LcCellMixtureReproducesPixelModel) {
+  // The pixel model's (2c - 1) swing on the e^{j2 theta_b} axis is the
+  // incoherent mixture of identity and 90deg rotation.
+  const double theta_b = rt::deg_to_rad(30.0);
+  for (double c = 0.0; c <= 1.0; c += 0.1) {
+    const auto cell = optics::Mueller::lc_cell(c);
+    const auto out = cell * optics::Stokes::linear(1.0, theta_b);
+    // PDR reading at 0 and 45deg = complex contribution (Re, Im).
+    const double re = optics::pdr_reading(out, 0.0);
+    const double im = optics::pdr_reading(out, rt::deg_to_rad(45.0));
+    const auto expect = (2.0 * c - 1.0) * optics::pdr_response(theta_b);
+    EXPECT_NEAR(re, expect.real(), 1e-12) << c;
+    EXPECT_NEAR(im, expect.imag(), 1e-12) << c;
+  }
+}
+
+TEST(Stokes, UnpolarizedLightGivesZeroPdr) {
+  const auto amb = optics::Stokes::unpolarized(123.0);
+  for (double r = 0.0; r < rt::kPi; r += 0.3) EXPECT_NEAR(optics::pdr_reading(amb, r), 0.0, 1e-9);
+  EXPECT_NEAR(amb.degree_of_polarization(), 0.0, 1e-12);
+}
+
+TEST(Stokes, QuarterWavePlateMakesCircular) {
+  // Linear 45deg light through a QWP at 0deg becomes circular (V = +-I).
+  const auto in = optics::Stokes::linear(1.0, rt::deg_to_rad(45.0));
+  const auto out = optics::Mueller::retarder(rt::kPi / 2.0, 0.0) * in;
+  EXPECT_NEAR(std::abs(out.v), 1.0, 1e-12);
+  EXPECT_NEAR(out.q, 0.0, 1e-12);
+  EXPECT_NEAR(out.degree_of_polarization(), 1.0, 1e-12);
+}
+
+TEST(Stokes, RotatorShiftsLinearAngle) {
+  const auto in = optics::Stokes::linear(2.0, rt::deg_to_rad(10.0));
+  const auto out = optics::Mueller::rotator(rt::deg_to_rad(35.0)) * in;
+  EXPECT_NEAR(rt::rad_to_deg(out.linear_angle_rad()), 45.0, 1e-9);
+  EXPECT_NEAR(out.i, 2.0, 1e-12);  // rotation is lossless
+}
+
+// ----------------------------------------------------- downlink/inv --
+
+TEST(Downlink, TagStateMachineHappyPath) {
+  Rng rng(11);
+  mac::TagProtocol tag(7, rng);
+  EXPECT_EQ(tag.state(), mac::TagState::kReady);
+  // Query with 1 slot: the tag must reply immediately.
+  const auto r = tag.on_command({mac::DownlinkType::kQuery, 0, 1, 0, 0});
+  EXPECT_TRUE(r.replies_with_id);
+  EXPECT_EQ(tag.state(), mac::TagState::kReplied);
+  (void)tag.on_command({mac::DownlinkType::kAck, 7, 0, 0, 0});
+  EXPECT_EQ(tag.state(), mac::TagState::kInventoried);
+  // Rate assignment sticks; polls produce data.
+  (void)tag.on_command({mac::DownlinkType::kRateAssign, 7, 0, 3, 1});
+  EXPECT_EQ(tag.rate_code(), 3);
+  EXPECT_TRUE(tag.on_command({mac::DownlinkType::kPoll, 7, 0, 0, 0}).sends_data);
+  // Commands addressed to other tags are ignored.
+  EXPECT_FALSE(tag.on_command({mac::DownlinkType::kPoll, 8, 0, 0, 0}).sends_data);
+}
+
+TEST(Downlink, UnackedTagRejoinsNextFrame) {
+  Rng rng(13);
+  mac::TagProtocol tag(9, rng);
+  (void)tag.on_command({mac::DownlinkType::kQuery, 0, 1, 0, 0});
+  EXPECT_EQ(tag.state(), mac::TagState::kReplied);
+  // No Ack (collision); QueryRep moves it back to ready.
+  (void)tag.on_command({mac::DownlinkType::kQueryRep, 0, 0, 0, 0});
+  EXPECT_EQ(tag.state(), mac::TagState::kReady);
+}
+
+TEST(Inventory, DiscoversEveryTagViaCommands) {
+  Rng rng(17);
+  std::vector<mac::TagProtocol> tags;
+  std::vector<double> snrs;
+  for (std::uint8_t i = 1; i <= 25; ++i) {
+    tags.emplace_back(i, rng);
+    snrs.push_back(20.0 + i);
+  }
+  const auto table = mac::RateTable::paper_default();
+  const mac::GoodputModel model;
+  const auto out = mac::run_inventory(tags, snrs, table, model, {}, rng);
+  EXPECT_EQ(out.discovered.size(), tags.size());
+  for (const auto& t : tags) EXPECT_EQ(t.state(), mac::TagState::kInventoried);
+  EXPECT_GT(out.collisions, 0);  // 25 tags in adaptive frames collide sometimes
+  // Every tag got a rate assignment.
+  for (std::size_t i = 0; i < tags.size(); ++i) {
+    const auto& opt = model.best_option(table, snrs[i]);
+    EXPECT_EQ(tags[i].rate_code(), static_cast<std::uint8_t>(&opt - table.all().data())) << i;
+  }
+}
+
+TEST(Inventory, SurvivesDownlinkLoss) {
+  Rng rng(19);
+  std::vector<mac::TagProtocol> tags;
+  std::vector<double> snrs;
+  for (std::uint8_t i = 1; i <= 10; ++i) {
+    tags.emplace_back(i, rng);
+    snrs.push_back(30.0);
+  }
+  mac::InventoryConfig cfg;
+  cfg.downlink_loss = 0.1;
+  const auto out = mac::run_inventory(tags, snrs, mac::RateTable::paper_default(),
+                                      mac::GoodputModel{}, cfg, rng);
+  EXPECT_EQ(out.discovered.size(), tags.size());
+}
+
+// -------------------------------------------------------- interleaver --
+
+TEST(Interleaver, RoundTripIdentity) {
+  coding::BlockInterleaver il(8, 16);
+  Rng rng(23);
+  const auto data = rng.bytes(il.block_size() * 3);
+  const auto mixed = il.interleave(std::span<const std::uint8_t>(data));
+  EXPECT_EQ(il.deinterleave(std::span<const std::uint8_t>(mixed)), data);
+}
+
+TEST(Interleaver, SpreadsBursts) {
+  coding::BlockInterleaver il(8, 16);
+  // A burst of 8 consecutive symbols in the interleaved domain lands in 8
+  // distinct rows after deinterleaving => <= 1 error per row.
+  std::vector<std::uint8_t> clean(il.block_size(), 0);
+  auto corrupted = il.interleave(std::span<const std::uint8_t>(clean));
+  for (std::size_t i = 40; i < 48; ++i) corrupted[i] = 1;
+  const auto restored = il.deinterleave(std::span<const std::uint8_t>(corrupted));
+  // Count errors per row of the original layout.
+  for (std::size_t r = 0; r < 8; ++r) {
+    int row_errors = 0;
+    for (std::size_t c = 0; c < 16; ++c) row_errors += restored[r * 16 + c];
+    EXPECT_LE(row_errors, 1) << "row " << r;
+  }
+}
+
+TEST(Interleaver, RejectsPartialBlocks) {
+  coding::BlockInterleaver il(4, 4);
+  const std::vector<std::uint8_t> partial(10, 0);
+  EXPECT_THROW((void)il.interleave(std::span<const std::uint8_t>(partial)), PreconditionError);
+}
+
+// ------------------------------------------------------ convolutional --
+
+TEST(Convolutional, EncodeDecodeCleanChannel) {
+  coding::ConvolutionalCode cc;
+  Rng rng(29);
+  const auto bits = rng.bits(200);
+  const auto coded = cc.encode(bits);
+  EXPECT_EQ(coded.size(), 2 * (bits.size() + 6));
+  EXPECT_EQ(cc.decode(coded), bits);
+}
+
+TEST(Convolutional, CorrectsScatteredErrors) {
+  coding::ConvolutionalCode cc;
+  Rng rng(31);
+  const auto bits = rng.bits(300);
+  auto coded = cc.encode(bits);
+  // Flip well-separated bits (inside the free-distance budget per span).
+  for (std::size_t i = 10; i + 40 < coded.size(); i += 40) coded[i] ^= 1;
+  EXPECT_EQ(cc.decode(coded), bits);
+}
+
+TEST(Convolutional, BerImprovesOverUncodedAtModerateNoise) {
+  coding::ConvolutionalCode cc;
+  Rng rng(37);
+  const double p_flip = 0.02;
+  std::size_t raw_errors = 0;
+  std::size_t dec_errors = 0;
+  std::size_t total = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto bits = rng.bits(256);
+    auto coded = cc.encode(bits);
+    std::size_t flips = 0;
+    for (auto& b : coded)
+      if (rng.bernoulli(p_flip)) {
+        b ^= 1;
+        ++flips;
+      }
+    raw_errors += flips / 2;  // equivalent uncoded exposure
+    const auto dec = cc.decode(coded);
+    for (std::size_t i = 0; i < bits.size(); ++i) dec_errors += dec[i] != bits[i];
+    total += bits.size();
+  }
+  EXPECT_LT(static_cast<double>(dec_errors) / total,
+            0.25 * static_cast<double>(raw_errors) / total);
+}
+
+TEST(Convolutional, ParameterValidation) {
+  EXPECT_THROW(coding::ConvolutionalCode(2, 07, 05), PreconditionError);
+  EXPECT_THROW(coding::ConvolutionalCode(7, 0400, 0171), PreconditionError);  // no newest tap
+  EXPECT_THROW(coding::ConvolutionalCode(3, 0777, 05), PreconditionError);    // too wide
+}
+
+}  // namespace
+}  // namespace rt

@@ -1,0 +1,158 @@
+// Tests for the analog frontend: carrier, photodiode and the passband
+// receiver chain, including the passband <-> baseband equivalence that
+// justifies the sim layer's fast path.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "frontend/carrier.h"
+#include "frontend/photodiode.h"
+#include "frontend/receiver_chain.h"
+
+namespace rt::frontend {
+namespace {
+
+TEST(Carrier, SquareWaveDutyCycle) {
+  const Carrier c{rt::khz(455.0), 0.5};
+  int on = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / (c.frequency_hz * 100.0);
+    on += c.value(t) > 0.5 ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(on) / n, 0.5, 0.02);
+}
+
+TEST(Carrier, FundamentalAmplitude) {
+  const Carrier half{1000.0, 0.5};
+  EXPECT_NEAR(half.fundamental_amplitude(), 2.0 / rt::kPi, 1e-12);
+  const Carrier quarter{1000.0, 0.25};
+  EXPECT_NEAR(quarter.fundamental_amplitude(), 2.0 / rt::kPi * std::sin(rt::kPi * 0.25), 1e-12);
+}
+
+TEST(Photodiode, LinearRegionResponsivity) {
+  PhotodiodeParams p;
+  p.responsivity = 2.0;
+  Photodiode pd(p);
+  Rng rng(1);
+  sig::Waveform in(1000.0, std::vector<double>{0.0, 0.5, 1.0});
+  const auto out = pd.detect(in, rng);
+  EXPECT_NEAR(out[1], 1.0, 1e-9);
+  EXPECT_NEAR(out[2], 2.0, 1e-9);
+}
+
+TEST(Photodiode, SaturationCompresses) {
+  PhotodiodeParams p;
+  p.saturation_level = 1.0;
+  Photodiode pd(p);
+  Rng rng(1);
+  sig::Waveform in(1000.0, std::vector<double>{0.1, 5.0});
+  const auto out = pd.detect(in, rng);
+  EXPECT_NEAR(out[0], 0.1, 0.001);           // linear region
+  EXPECT_LT(out[1], 1.01);                   // clipped near the rail
+  EXPECT_GT(out[1], 0.99);
+}
+
+TEST(Photodiode, ShotNoiseScalesWithSqrtIntensity) {
+  PhotodiodeParams p;
+  p.shot_noise_coeff = 0.1;
+  Photodiode pd(p);
+  Rng rng(5);
+  const std::size_t n = 20000;
+  sig::Waveform dim(1000.0, std::vector<double>(n, 1.0));
+  sig::Waveform bright(1000.0, std::vector<double>(n, 100.0));
+  const auto out_dim = pd.detect(dim, rng);
+  const auto out_bright = pd.detect(bright, rng);
+  double var_dim = 0.0;
+  double var_bright = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    var_dim += (out_dim[i] - 1.0) * (out_dim[i] - 1.0);
+    var_bright += (out_bright[i] - 100.0) * (out_bright[i] - 100.0);
+  }
+  EXPECT_NEAR(var_bright / var_dim, 100.0, 15.0);
+}
+
+class ReceiverChainTest : public ::testing::Test {
+ protected:
+  ReceiverChainConfig make_config() {
+    ReceiverChainConfig cfg;
+    cfg.passband_fs_hz = 4.0e6;
+    cfg.baseband_fs_hz = 40.0e3;
+    return cfg;
+  }
+
+  /// A slow two-tone complex baseband signal comfortably inside the
+  /// receiver bandwidth.
+  sig::IqWaveform make_baseband(double fs, std::size_t n) {
+    sig::IqWaveform w(fs, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double t = static_cast<double>(i) / fs;
+      w[i] = {0.8 * std::sin(2.0 * rt::kPi * 400.0 * t),
+              0.5 * std::cos(2.0 * rt::kPi * 700.0 * t)};
+    }
+    return w;
+  }
+};
+
+TEST_F(ReceiverChainTest, PassbandRecoversBaseband) {
+  const auto cfg = make_config();
+  ReceiverChain chain(cfg);
+  const auto baseband = make_baseband(cfg.baseband_fs_hz, 800);  // 20 ms
+  const auto inputs = chain.illuminate(baseband, 10.0, 0.0);
+  Rng rng(7);
+  const auto recovered = chain.process(inputs, rng);
+  ASSERT_EQ(recovered.size(), baseband.size());
+  // Compare away from the filter edges.
+  double err = 0.0;
+  double ref = 0.0;
+  for (std::size_t i = 100; i + 100 < baseband.size(); ++i) {
+    err += std::norm(recovered[i] - baseband[i]);
+    ref += std::norm(baseband[i]);
+  }
+  EXPECT_LT(std::sqrt(err / ref), 0.05) << "passband chain deviates from baseband fast path";
+}
+
+TEST_F(ReceiverChainTest, AmbientLightRejected) {
+  const auto cfg = make_config();
+  ReceiverChain chain(cfg);
+  sig::IqWaveform silent(cfg.baseband_fs_hz, 800);  // tag idle: no modulation
+  // Huge unchopped ambient level.
+  const auto inputs = chain.illuminate(silent, 10.0, 500.0);
+  Rng rng(9);
+  const auto out = chain.process(inputs, rng);
+  double peak = 0.0;
+  for (std::size_t i = 100; i + 100 < out.size(); ++i) peak = std::max(peak, std::abs(out[i]));
+  EXPECT_LT(peak, 0.5) << "DC ambient must be filtered by the band-pass";
+}
+
+TEST_F(ReceiverChainTest, AmbientShotNoiseRaisesFloorOnlyMildly) {
+  // Fig. 16d mechanism: ambient adds shot noise (through the photodiode)
+  // but no in-band signal. With shot noise enabled, output noise grows
+  // with lux but stays orders below the signal.
+  auto cfg = make_config();
+  cfg.photodiode.shot_noise_coeff = 1e-3;
+  ReceiverChain chain(cfg);
+  sig::IqWaveform silent(cfg.baseband_fs_hz, 400);
+  Rng rng_a(11);
+  Rng rng_b(11);
+  const auto dark = chain.process(chain.illuminate(silent, 10.0, 20.0 * 1e-3), rng_a);
+  const auto day = chain.process(chain.illuminate(silent, 10.0, 1000.0 * 1e-3), rng_b);
+  const double p_dark = dark.mean_power();
+  const double p_day = day.mean_power();
+  EXPECT_GT(p_day, p_dark);
+  EXPECT_LT(p_day, 100.0 * p_dark);
+}
+
+TEST_F(ReceiverChainTest, ConfigValidation) {
+  auto cfg = make_config();
+  cfg.baseband_fs_hz = 37.0e3;  // does not divide 4 MHz
+  EXPECT_THROW(ReceiverChain{cfg}, PreconditionError);
+  auto cfg2 = make_config();
+  cfg2.passband_fs_hz = 500.0e3;  // below carrier Nyquist
+  EXPECT_THROW(ReceiverChain{cfg2}, PreconditionError);
+}
+
+}  // namespace
+}  // namespace rt::frontend

@@ -1,0 +1,228 @@
+// Tests for the MAC layer: frames, ARQ, TDMA + discovery, rate table,
+// goodput model, the rate-adaptation network study and the full-stack
+// MacLink path.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "mac/arq.h"
+#include "mac/frame.h"
+#include "mac/goodput.h"
+#include "mac/mac_link.h"
+#include "mac/network.h"
+#include "mac/rate_table.h"
+#include "mac/tdma.h"
+
+namespace rt::mac {
+namespace {
+
+TEST(MacFrameTest, SerializeParseRoundTrip) {
+  Rng rng(1);
+  MacFrame f;
+  f.tag_id = 7;
+  f.seq = 42;
+  f.payload = rng.bytes(100);
+  const auto bytes = serialize(f);
+  EXPECT_EQ(bytes.size(), 106u);
+  const auto parsed = parse(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, f);
+}
+
+TEST(MacFrameTest, CorruptionDetected) {
+  Rng rng(2);
+  MacFrame f;
+  f.payload = rng.bytes(32);
+  auto bytes = serialize(f);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    auto bad = bytes;
+    bad[i] ^= 0x40;
+    EXPECT_FALSE(parse(bad).has_value()) << "byte " << i;
+  }
+  // Truncation and length mismatch rejected.
+  EXPECT_FALSE(parse(std::span(bytes).first(10)).has_value());
+  EXPECT_FALSE(parse(std::vector<std::uint8_t>{1, 2, 3}).has_value());
+}
+
+TEST(Arq, RetriesUntilSuccess) {
+  int calls = 0;
+  const StopAndWaitArq arq(5);
+  const auto r = arq.run([&] { return ++calls == 3; });
+  EXPECT_TRUE(r.delivered);
+  EXPECT_EQ(r.attempts, 3);
+}
+
+TEST(Arq, GivesUpAfterMaxAttempts) {
+  const StopAndWaitArq arq(4);
+  const auto r = arq.run([] { return false; });
+  EXPECT_FALSE(r.delivered);
+  EXPECT_EQ(r.attempts, 4);
+}
+
+TEST(Tdma, RoundRobinOwnership) {
+  TdmaScheduler s;
+  s.register_tag(10);
+  s.register_tag(20);
+  s.register_tag(30);
+  EXPECT_EQ(s.owner(0), 10);
+  EXPECT_EQ(s.owner(4), 20);
+  EXPECT_NEAR(s.airtime_share(), 1.0 / 3.0, 1e-12);
+  EXPECT_THROW(s.register_tag(10), PreconditionError);
+}
+
+TEST(Discovery, FindsAllTags) {
+  Rng rng(3);
+  std::vector<std::uint8_t> ids;
+  for (int i = 0; i < 30; ++i) ids.push_back(static_cast<std::uint8_t>(i));
+  const auto r = discover_tags(ids, 16, rng);
+  EXPECT_EQ(r.discovered.size(), ids.size());
+  EXPECT_GE(r.rounds, 2);  // 30 tags cannot fit 16 singleton slots in one round
+}
+
+TEST(Discovery, SingleTagOneRound) {
+  Rng rng(4);
+  const auto r = discover_tags({5}, 8, rng);
+  EXPECT_EQ(r.rounds, 1);
+  EXPECT_EQ(r.discovered, std::vector<std::uint8_t>{5});
+}
+
+TEST(RateTableTest, SelectsByThresholdAndRate) {
+  const auto table = RateTable::paper_default();
+  // Plenty of SNR: the fastest uncoded rate wins.
+  EXPECT_NEAR(table.select(70.0).effective_rate_bps(), 32000.0, 1.0);
+  // At exactly a coded variant's threshold the higher coded rate wins:
+  // 16k+RS(255,223) (threshold 30 dB) beats 8k uncoded.
+  const auto& at30 = table.select(30.0);
+  EXPECT_NEAR(at30.raw_rate_bps, 16000.0, 1.0);
+  EXPECT_GT(at30.rs_n, 0u);
+  // Just below it, the heavily-coded 16k variant loses to 8k uncoded on
+  // effective rate: an 8k-family option is picked.
+  const auto& mid = table.select(29.0);
+  EXPECT_NEAR(mid.raw_rate_bps, 8000.0, 1.0);
+  // Hopeless SNR: the most robust option.
+  const auto& floor = table.select(-30.0);
+  EXPECT_NEAR(floor.raw_rate_bps, 1000.0, 1.0);
+  EXPECT_GT(table.most_robust().code_rate(), 0.0);
+}
+
+TEST(RateTableTest, CodedVariantsExtendRange) {
+  const auto table = RateTable::paper_default();
+  // Just below the uncoded 16k threshold the coded 16k variant (threshold
+  // -3 dB) beats dropping all the way to 8k uncoded.
+  const auto& opt = table.select(31.0);
+  EXPECT_NEAR(opt.raw_rate_bps, 16000.0, 1.0);
+  EXPECT_GT(opt.rs_n, 0u);
+}
+
+TEST(Goodput, WaterfallCalibratedAtThreshold) {
+  EXPECT_NEAR(waterfall_ber(28.0, 28.0), 0.01, 0.002);
+  EXPECT_LT(waterfall_ber(34.0, 28.0), 1e-4);
+  EXPECT_GT(waterfall_ber(22.0, 28.0), 0.05);
+}
+
+TEST(Goodput, CodingExtendsWorkingRange) {
+  const GoodputModel model;
+  RateOption raw{"16k", phy::PhyParams::rate_16kbps(), 16000.0, 33.0, 0, 0};
+  RateOption coded{"16k+rs", phy::PhyParams::rate_16kbps(), 16000.0, 33.0, 255, 223};
+  // Slightly below threshold: coded link delivers, raw collapses.
+  EXPECT_GT(model.goodput_bps(coded, 32.0), model.goodput_bps(raw, 32.0));
+  // Far above threshold: raw wins by the code-rate overhead.
+  EXPECT_GT(model.goodput_bps(raw, 45.0), model.goodput_bps(coded, 45.0));
+  EXPECT_NEAR(model.goodput_bps(coded, 45.0) / model.goodput_bps(raw, 45.0), 223.0 / 255.0,
+              0.01);
+}
+
+TEST(Goodput, MeasuredCurveOverridesAnalytic) {
+  GoodputModel model;
+  RateOption opt{"8k", phy::PhyParams::rate_8kbps(), 8000.0, 28.0, 0, 0};
+  model.add_measurements("8k", {{20.0, 0.2}, {30.0, 1e-5}});
+  EXPECT_NEAR(model.ber(opt, 20.0), 0.2, 1e-9);
+  EXPECT_NEAR(model.ber(opt, 30.0), 1e-5, 1e-9);
+  // Log-interpolated midpoint.
+  const double mid = model.ber(opt, 25.0);
+  EXPECT_GT(mid, 1e-5);
+  EXPECT_LT(mid, 0.2);
+}
+
+TEST(Network, RateAdaptationGainGrowsWithTags) {
+  const auto table = RateTable::paper_default();
+  const GoodputModel model;
+  NetworkStudyConfig cfg;
+  cfg.trials = 40;
+  Rng rng(7);
+  const auto r4 = rate_adaptation_study(4, table, model, cfg, rng);
+  const auto r32 = rate_adaptation_study(32, table, model, cfg, rng);
+  const auto r100 = rate_adaptation_study(100, table, model, cfg, rng);
+  EXPECT_GT(r4.gain(), 1.0);
+  EXPECT_GT(r32.gain(), r4.gain());
+  EXPECT_GE(r100.gain(), r32.gain() * 0.9);
+  // Paper's shape: ~1.2x at 4 tags growing to ~3.7x at 100.
+  EXPECT_LT(r4.gain(), 3.0);
+  EXPECT_GT(r100.gain(), 2.0);
+  EXPECT_GT(r100.mean_discovery_rounds, r4.mean_discovery_rounds);
+}
+
+TEST(MacLinkTest, DeliversFrameOverRealPhy) {
+  phy::PhyParams p;
+  p.dsm_order = 4;
+  p.bits_per_axis = 1;
+  p.slot_s = rt::ms(1.0);
+  p.charge_s = rt::ms(0.5);
+  p.preamble_slots = 32;
+  p.equalizer_branches = 8;
+  sim::ChannelConfig ch;
+  ch.snr_override_db = 40.0;
+  sim::SimOptions so;
+  so.offline_yaws_deg = {0.0};
+  sim::LinkSimulator simulator(p, p.tag_config(), ch, so);
+  MacLink link(simulator, coding::ReedSolomon(15, 11));
+
+  Rng rng(9);
+  MacFrame f;
+  f.tag_id = 3;
+  f.seq = 1;
+  f.payload = rng.bytes(20);
+  const auto r = link.send(f, StopAndWaitArq(3));
+  ASSERT_TRUE(r.delivered);
+  EXPECT_EQ(r.attempts, 1);
+  ASSERT_TRUE(r.received.has_value());
+  EXPECT_EQ(*r.received, f);
+  EXPECT_GT(MacLink::efficiency(r, f.payload.size()), 0.3);
+}
+
+TEST(MacLinkTest, CodedLinkSurvivesNoiseUncodedFails) {
+  phy::PhyParams p;
+  p.dsm_order = 4;
+  p.bits_per_axis = 1;
+  p.slot_s = rt::ms(1.0);
+  p.charge_s = rt::ms(0.5);
+  p.preamble_slots = 32;
+  p.equalizer_branches = 8;
+  sim::ChannelConfig ch;
+  ch.snr_override_db = 10.0;  // a few raw bit errors per packet expected
+  sim::SimOptions so;
+  so.offline_yaws_deg = {0.0};
+
+  sim::LinkSimulator sim_coded(p, p.tag_config(), ch, so);
+  MacLink coded(sim_coded, coding::ReedSolomon(63, 39));
+  sim::ChannelConfig ch2 = ch;
+  ch2.noise_seed = 2;
+  sim::LinkSimulator sim_raw(p, p.tag_config(), ch2, so);
+  MacLink raw(sim_raw, std::nullopt);
+
+  Rng rng(11);
+  int coded_ok = 0;
+  int raw_ok = 0;
+  for (int i = 0; i < 4; ++i) {
+    MacFrame f;
+    f.seq = static_cast<std::uint8_t>(i);
+    f.payload = rng.bytes(24);
+    coded_ok += coded.send(f, StopAndWaitArq(1)).delivered ? 1 : 0;
+    raw_ok += raw.send(f, StopAndWaitArq(1)).delivered ? 1 : 0;
+  }
+  EXPECT_GE(coded_ok, raw_ok);
+  EXPECT_GE(coded_ok, 3);
+}
+
+}  // namespace
+}  // namespace rt::mac
