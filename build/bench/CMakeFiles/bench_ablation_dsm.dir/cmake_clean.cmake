@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dsm.dir/bench_ablation_dsm.cpp.o"
+  "CMakeFiles/bench_ablation_dsm.dir/bench_ablation_dsm.cpp.o.d"
+  "bench_ablation_dsm"
+  "bench_ablation_dsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

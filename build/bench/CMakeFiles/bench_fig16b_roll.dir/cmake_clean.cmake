@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16b_roll.dir/bench_fig16b_roll.cpp.o"
+  "CMakeFiles/bench_fig16b_roll.dir/bench_fig16b_roll.cpp.o.d"
+  "bench_fig16b_roll"
+  "bench_fig16b_roll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16b_roll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

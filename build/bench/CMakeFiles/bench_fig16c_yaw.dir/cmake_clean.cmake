@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16c_yaw.dir/bench_fig16c_yaw.cpp.o"
+  "CMakeFiles/bench_fig16c_yaw.dir/bench_fig16c_yaw.cpp.o.d"
+  "bench_fig16c_yaw"
+  "bench_fig16c_yaw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16c_yaw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

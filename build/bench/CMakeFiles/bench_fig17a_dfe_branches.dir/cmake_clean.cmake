@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17a_dfe_branches.dir/bench_fig17a_dfe_branches.cpp.o"
+  "CMakeFiles/bench_fig17a_dfe_branches.dir/bench_fig17a_dfe_branches.cpp.o.d"
+  "bench_fig17a_dfe_branches"
+  "bench_fig17a_dfe_branches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17a_dfe_branches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17b_training_v.dir/bench_fig17b_training_v.cpp.o"
+  "CMakeFiles/bench_fig17b_training_v.dir/bench_fig17b_training_v.cpp.o.d"
+  "bench_fig17b_training_v"
+  "bench_fig17b_training_v.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17b_training_v.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

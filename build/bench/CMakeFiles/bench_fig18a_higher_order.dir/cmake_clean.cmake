@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18a_higher_order.dir/bench_fig18a_higher_order.cpp.o"
+  "CMakeFiles/bench_fig18a_higher_order.dir/bench_fig18a_higher_order.cpp.o.d"
+  "bench_fig18a_higher_order"
+  "bench_fig18a_higher_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18a_higher_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18b_coding_gain.dir/bench_fig18b_coding_gain.cpp.o"
+  "CMakeFiles/bench_fig18b_coding_gain.dir/bench_fig18b_coding_gain.cpp.o.d"
+  "bench_fig18b_coding_gain"
+  "bench_fig18b_coding_gain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18b_coding_gain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

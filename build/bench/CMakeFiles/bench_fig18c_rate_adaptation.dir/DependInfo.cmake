@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig18c_rate_adaptation.cpp" "bench/CMakeFiles/bench_fig18c_rate_adaptation.dir/bench_fig18c_rate_adaptation.cpp.o" "gcc" "bench/CMakeFiles/bench_fig18c_rate_adaptation.dir/bench_fig18c_rate_adaptation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/coding/CMakeFiles/rt_coding.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/rt_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/rt_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/lcm/CMakeFiles/rt_lcm.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/rt_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/rt_signal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_headline_rate_gain.dir/bench_headline_rate_gain.cpp.o"
+  "CMakeFiles/bench_headline_rate_gain.dir/bench_headline_rate_gain.cpp.o.d"
+  "bench_headline_rate_gain"
+  "bench_headline_rate_gain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_headline_rate_gain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

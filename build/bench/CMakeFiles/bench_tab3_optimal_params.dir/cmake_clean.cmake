@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab3_optimal_params.dir/bench_tab3_optimal_params.cpp.o"
+  "CMakeFiles/bench_tab3_optimal_params.dir/bench_tab3_optimal_params.cpp.o.d"
+  "bench_tab3_optimal_params"
+  "bench_tab3_optimal_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab3_optimal_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab4_mobility.dir/bench_tab4_mobility.cpp.o"
+  "CMakeFiles/bench_tab4_mobility.dir/bench_tab4_mobility.cpp.o.d"
+  "bench_tab4_mobility"
+  "bench_tab4_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab4_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modulation_explorer.dir/modulation_explorer.cpp.o"
+  "CMakeFiles/modulation_explorer.dir/modulation_explorer.cpp.o.d"
+  "modulation_explorer"
+  "modulation_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modulation_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

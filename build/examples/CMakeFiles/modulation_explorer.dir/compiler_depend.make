@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for modulation_explorer.
+# This may be replaced when dependencies are built.

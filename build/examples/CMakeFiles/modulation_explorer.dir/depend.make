@@ -1,0 +1,2 @@
+# Empty dependencies file for modulation_explorer.
+# This may be replaced when dependencies are built.

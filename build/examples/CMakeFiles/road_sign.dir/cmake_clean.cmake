@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/road_sign.dir/road_sign.cpp.o"
+  "CMakeFiles/road_sign.dir/road_sign.cpp.o.d"
+  "road_sign"
+  "road_sign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/road_sign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warehouse_sensors.dir/warehouse_sensors.cpp.o"
+  "CMakeFiles/warehouse_sensors.dir/warehouse_sensors.cpp.o.d"
+  "warehouse_sensors"
+  "warehouse_sensors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warehouse_sensors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

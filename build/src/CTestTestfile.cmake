@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("linalg")
+subdirs("signal")
+subdirs("coding")
+subdirs("optics")
+subdirs("lcm")
+subdirs("frontend")
+subdirs("phy")
+subdirs("analysis")
+subdirs("mac")
+subdirs("sim")
+subdirs("core")

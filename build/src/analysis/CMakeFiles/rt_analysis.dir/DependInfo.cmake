@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/emulation_error.cpp" "src/analysis/CMakeFiles/rt_analysis.dir/emulation_error.cpp.o" "gcc" "src/analysis/CMakeFiles/rt_analysis.dir/emulation_error.cpp.o.d"
+  "/root/repo/src/analysis/emulator.cpp" "src/analysis/CMakeFiles/rt_analysis.dir/emulator.cpp.o" "gcc" "src/analysis/CMakeFiles/rt_analysis.dir/emulator.cpp.o.d"
+  "/root/repo/src/analysis/min_distance.cpp" "src/analysis/CMakeFiles/rt_analysis.dir/min_distance.cpp.o" "gcc" "src/analysis/CMakeFiles/rt_analysis.dir/min_distance.cpp.o.d"
+  "/root/repo/src/analysis/optimizer.cpp" "src/analysis/CMakeFiles/rt_analysis.dir/optimizer.cpp.o" "gcc" "src/analysis/CMakeFiles/rt_analysis.dir/optimizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/signal/CMakeFiles/rt_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/lcm/CMakeFiles/rt_lcm.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/rt_phy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

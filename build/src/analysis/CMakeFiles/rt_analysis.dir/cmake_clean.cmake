@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_analysis.dir/emulation_error.cpp.o"
+  "CMakeFiles/rt_analysis.dir/emulation_error.cpp.o.d"
+  "CMakeFiles/rt_analysis.dir/emulator.cpp.o"
+  "CMakeFiles/rt_analysis.dir/emulator.cpp.o.d"
+  "CMakeFiles/rt_analysis.dir/min_distance.cpp.o"
+  "CMakeFiles/rt_analysis.dir/min_distance.cpp.o.d"
+  "CMakeFiles/rt_analysis.dir/optimizer.cpp.o"
+  "CMakeFiles/rt_analysis.dir/optimizer.cpp.o.d"
+  "librt_analysis.a"
+  "librt_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

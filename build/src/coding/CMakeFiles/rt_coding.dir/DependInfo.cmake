@@ -1,0 +1,20 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coding/crc.cpp" "src/coding/CMakeFiles/rt_coding.dir/crc.cpp.o" "gcc" "src/coding/CMakeFiles/rt_coding.dir/crc.cpp.o.d"
+  "/root/repo/src/coding/reed_solomon.cpp" "src/coding/CMakeFiles/rt_coding.dir/reed_solomon.cpp.o" "gcc" "src/coding/CMakeFiles/rt_coding.dir/reed_solomon.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_coding.dir/crc.cpp.o"
+  "CMakeFiles/rt_coding.dir/crc.cpp.o.d"
+  "CMakeFiles/rt_coding.dir/reed_solomon.cpp.o"
+  "CMakeFiles/rt_coding.dir/reed_solomon.cpp.o.d"
+  "librt_coding.a"
+  "librt_coding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_coding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_frontend.dir/receiver_chain.cpp.o"
+  "CMakeFiles/rt_frontend.dir/receiver_chain.cpp.o.d"
+  "librt_frontend.a"
+  "librt_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

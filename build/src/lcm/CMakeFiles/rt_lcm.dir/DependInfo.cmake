@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lcm/lc_cell.cpp" "src/lcm/CMakeFiles/rt_lcm.dir/lc_cell.cpp.o" "gcc" "src/lcm/CMakeFiles/rt_lcm.dir/lc_cell.cpp.o.d"
+  "/root/repo/src/lcm/tag_array.cpp" "src/lcm/CMakeFiles/rt_lcm.dir/tag_array.cpp.o" "gcc" "src/lcm/CMakeFiles/rt_lcm.dir/tag_array.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/signal/CMakeFiles/rt_signal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_lcm.dir/lc_cell.cpp.o"
+  "CMakeFiles/rt_lcm.dir/lc_cell.cpp.o.d"
+  "CMakeFiles/rt_lcm.dir/tag_array.cpp.o"
+  "CMakeFiles/rt_lcm.dir/tag_array.cpp.o.d"
+  "librt_lcm.a"
+  "librt_lcm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_lcm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

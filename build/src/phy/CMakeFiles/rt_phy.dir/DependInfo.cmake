@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/demodulator.cpp" "src/phy/CMakeFiles/rt_phy.dir/demodulator.cpp.o" "gcc" "src/phy/CMakeFiles/rt_phy.dir/demodulator.cpp.o.d"
+  "/root/repo/src/phy/equalizer.cpp" "src/phy/CMakeFiles/rt_phy.dir/equalizer.cpp.o" "gcc" "src/phy/CMakeFiles/rt_phy.dir/equalizer.cpp.o.d"
+  "/root/repo/src/phy/mobile.cpp" "src/phy/CMakeFiles/rt_phy.dir/mobile.cpp.o" "gcc" "src/phy/CMakeFiles/rt_phy.dir/mobile.cpp.o.d"
+  "/root/repo/src/phy/preamble.cpp" "src/phy/CMakeFiles/rt_phy.dir/preamble.cpp.o" "gcc" "src/phy/CMakeFiles/rt_phy.dir/preamble.cpp.o.d"
+  "/root/repo/src/phy/pulse_model.cpp" "src/phy/CMakeFiles/rt_phy.dir/pulse_model.cpp.o" "gcc" "src/phy/CMakeFiles/rt_phy.dir/pulse_model.cpp.o.d"
+  "/root/repo/src/phy/training.cpp" "src/phy/CMakeFiles/rt_phy.dir/training.cpp.o" "gcc" "src/phy/CMakeFiles/rt_phy.dir/training.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/signal/CMakeFiles/rt_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/lcm/CMakeFiles/rt_lcm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

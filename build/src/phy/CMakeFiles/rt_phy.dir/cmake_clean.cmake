@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_phy.dir/demodulator.cpp.o"
+  "CMakeFiles/rt_phy.dir/demodulator.cpp.o.d"
+  "CMakeFiles/rt_phy.dir/equalizer.cpp.o"
+  "CMakeFiles/rt_phy.dir/equalizer.cpp.o.d"
+  "CMakeFiles/rt_phy.dir/mobile.cpp.o"
+  "CMakeFiles/rt_phy.dir/mobile.cpp.o.d"
+  "CMakeFiles/rt_phy.dir/preamble.cpp.o"
+  "CMakeFiles/rt_phy.dir/preamble.cpp.o.d"
+  "CMakeFiles/rt_phy.dir/pulse_model.cpp.o"
+  "CMakeFiles/rt_phy.dir/pulse_model.cpp.o.d"
+  "CMakeFiles/rt_phy.dir/training.cpp.o"
+  "CMakeFiles/rt_phy.dir/training.cpp.o.d"
+  "librt_phy.a"
+  "librt_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

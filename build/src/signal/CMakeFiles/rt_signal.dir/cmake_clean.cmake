@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_signal.dir/fir.cpp.o"
+  "CMakeFiles/rt_signal.dir/fir.cpp.o.d"
+  "CMakeFiles/rt_signal.dir/mls.cpp.o"
+  "CMakeFiles/rt_signal.dir/mls.cpp.o.d"
+  "librt_signal.a"
+  "librt_signal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_signal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

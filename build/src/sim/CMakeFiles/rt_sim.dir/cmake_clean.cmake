@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_sim.dir/channel.cpp.o"
+  "CMakeFiles/rt_sim.dir/channel.cpp.o.d"
+  "CMakeFiles/rt_sim.dir/link_sim.cpp.o"
+  "CMakeFiles/rt_sim.dir/link_sim.cpp.o.d"
+  "CMakeFiles/rt_sim.dir/trace.cpp.o"
+  "CMakeFiles/rt_sim.dir/trace.cpp.o.d"
+  "librt_sim.a"
+  "librt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

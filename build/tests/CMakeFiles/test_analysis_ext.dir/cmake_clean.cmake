@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis_ext.dir/test_analysis_ext.cpp.o"
+  "CMakeFiles/test_analysis_ext.dir/test_analysis_ext.cpp.o.d"
+  "test_analysis_ext"
+  "test_analysis_ext.pdb"
+  "test_analysis_ext[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

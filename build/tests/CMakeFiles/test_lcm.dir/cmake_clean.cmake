@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lcm.dir/test_lcm.cpp.o"
+  "CMakeFiles/test_lcm.dir/test_lcm.cpp.o.d"
+  "test_lcm"
+  "test_lcm.pdb"
+  "test_lcm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lcm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
