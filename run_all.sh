@@ -1,9 +1,18 @@
 #!/usr/bin/env bash
 # Regenerates test_output.txt and bench_output.txt (the full verification
-# record referenced by EXPERIMENTS.md).
-set -u
+# record referenced by EXPERIMENTS.md). Fails if any test or benchmark
+# fails: `tee` no longer swallows exit codes.
+set -euo pipefail
 cd "$(dirname "$0")"
-ctest --test-dir build 2>&1 | tee test_output.txt
+
+ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
+test "${PIPESTATUS[0]}" -eq 0
+
+: > bench_output.txt
+shopt -s nullglob
 for b in build/bench/bench_*; do
-  [ -x "$b" ] && [ -f "$b" ] && "$b"
-done 2>&1 | tee bench_output.txt
+  if [ -x "$b" ] && [ -f "$b" ]; then
+    "$b" 2>&1 | tee -a bench_output.txt
+    test "${PIPESTATUS[0]}" -eq 0
+  fi
+done

@@ -1,5 +1,6 @@
 #include "analysis/emulator.h"
 
+#include "common/narrow.h"
 #include "signal/mls.h"
 
 namespace rt::analysis {
@@ -34,7 +35,7 @@ LcmTable characterize_lcm(const lcm::LcTimings& timings, double slot_s, double s
               bits[static_cast<std::size_t>((idx % static_cast<std::ptrdiff_t>(period) +
                                              static_cast<std::ptrdiff_t>(period)) %
                                             static_cast<std::ptrdiff_t>(period))];
-          key |= static_cast<std::uint32_t>(bit) << b;
+          key |= narrow_cast<std::uint32_t>(bit) << b;
           (void)valid;
         }
         if (record_all_zero != (key == 0)) continue;
@@ -47,7 +48,7 @@ LcmTable characterize_lcm(const lcm::LcTimings& timings, double slot_s, double s
   };
 
   // Main pass: order-V MLS covers every non-zero window exactly once.
-  const auto seq = sig::mls(static_cast<unsigned>(v));
+  const auto seq = sig::mls(narrow_cast<unsigned>(v));
   drive_and_fill(seq, false);
 
   // All-zero window: pad with a long undriven run (footnote 5). Drive once

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/narrow.h"
+
 namespace rt::analysis {
 
 namespace {
@@ -18,7 +20,7 @@ double distance_sq_between(const sig::IqWaveform& wa, const sig::IqWaveform& wb,
 
 std::vector<std::uint8_t> word_from_index(std::uint64_t idx, int bits) {
   std::vector<std::uint8_t> w(bits);
-  for (int b = 0; b < bits; ++b) w[b] = static_cast<std::uint8_t>((idx >> b) & 1ULL);
+  for (int b = 0; b < bits; ++b) w[b] = narrow_cast<std::uint8_t>((idx >> b) & 1ULL);
   return w;
 }
 

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/narrow.h"
+
 namespace rt::analysis {
 
 OptimizerResult optimize_parameters(const LcmTable& table, double target_rate_bps,
@@ -15,7 +17,7 @@ OptimizerResult optimize_parameters(const LcmTable& table, double target_rate_bp
     const int bits_per_symbol = 2 * bits;  // PQAM: both polarization axes
     // T = bits/rate must be an integer number of characterization slots.
     const double t_exact = static_cast<double>(bits_per_symbol) / target_rate_bps;
-    const int sps = static_cast<int>(std::llround(t_exact / grid_slot));
+    const int sps = narrow_cast<int>(std::llround(t_exact / grid_slot));
     if (sps < 1) continue;
     const double t = sps * grid_slot;
     if (std::abs(t - t_exact) / t_exact > 0.01) continue;  // rate not representable

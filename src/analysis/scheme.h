@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "analysis/emulator.h"
+#include "common/narrow.h"
 #include "common/units.h"
 #include "phy/constellation.h"
 
@@ -130,7 +131,7 @@ class DsmPqamScheme final : public Scheme {
     for (std::size_t p = 0; p < pixels; ++p) {
       const auto group = p / (static_cast<std::size_t>(l_) * bits_axis_);
       const auto within = p % (static_cast<std::size_t>(l_) * bits_axis_);
-      const int weight_bit = bits_axis_ - 1 - static_cast<int>(within % bits_axis_);
+      const int weight_bit = bits_axis_ - 1 - narrow_cast<int>(within % bits_axis_);
       const double area = static_cast<double>(1 << weight_bit) / denom;
       cm.gains[p] = area * (group == 0 ? Complex(1.0, 0.0) : Complex(0.0, 1.0));
     }

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/error.h"
+#include "common/narrow.h"
 
 namespace rt::coding {
 
@@ -84,7 +85,7 @@ class ConvolutionalCode {
     std::uint32_t state = 0;
     for (std::size_t t = steps; t-- > 0;) {
       const std::uint32_t packed = survivors[t][state];
-      bits[t] = static_cast<std::uint8_t>(packed & 1U);
+      bits[t] = narrow_cast<std::uint8_t>(packed & 1U);
       state = packed >> 1;
     }
     bits.resize(steps - static_cast<std::size_t>(k_ - 1));  // drop the flush
@@ -93,7 +94,7 @@ class ConvolutionalCode {
 
  private:
   [[nodiscard]] static std::uint8_t parity(std::uint32_t v) {
-    return static_cast<std::uint8_t>(__builtin_popcount(v) & 1);
+    return narrow_cast<std::uint8_t>(__builtin_popcount(v) & 1);
   }
 
   int k_;

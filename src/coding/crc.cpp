@@ -1,6 +1,9 @@
+// rt-lint: no-preconditions (crc16 is total over any byte span, including empty)
 #include "coding/crc.h"
 
 #include <array>
+
+#include "common/narrow.h"
 
 namespace rt::coding {
 
@@ -21,10 +24,10 @@ std::array<std::uint32_t, 256> make_crc32_table() {
 std::uint16_t crc16_ccitt(std::span<const std::uint8_t> data) {
   std::uint16_t crc = 0xFFFF;
   for (const auto b : data) {
-    crc ^= static_cast<std::uint16_t>(b << 8);
+    crc ^= narrow_cast<std::uint16_t>(b << 8);
     for (int k = 0; k < 8; ++k)
-      crc = (crc & 0x8000U) ? static_cast<std::uint16_t>((crc << 1) ^ 0x1021U)
-                            : static_cast<std::uint16_t>(crc << 1);
+      crc = (crc & 0x8000U) ? narrow_cast<std::uint16_t>(((crc << 1) ^ 0x1021U) & 0xFFFFU)
+                            : narrow_cast<std::uint16_t>((crc << 1) & 0xFFFFU);
   }
   return crc;
 }

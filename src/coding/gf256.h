@@ -9,6 +9,7 @@
 #include <cstdint>
 
 #include "common/error.h"
+#include "common/narrow.h"
 
 namespace rt::coding {
 
@@ -21,7 +22,7 @@ class Gf256 {
   }
 
   [[nodiscard]] std::uint8_t add(std::uint8_t a, std::uint8_t b) const {
-    return static_cast<std::uint8_t>(a ^ b);
+    return narrow_cast<std::uint8_t>(a ^ b);
   }
 
   [[nodiscard]] std::uint8_t mul(std::uint8_t a, std::uint8_t b) const {
@@ -56,7 +57,7 @@ class Gf256 {
   Gf256() {
     std::uint16_t x = 1;
     for (int i = 0; i < 255; ++i) {
-      exp_[i] = static_cast<std::uint8_t>(x);
+      exp_[i] = narrow_cast<std::uint8_t>(x);
       log_[exp_[i]] = i;
       x <<= 1;
       if (x & 0x100) x ^= 0x11D;

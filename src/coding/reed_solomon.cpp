@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "common/narrow.h"
 
 namespace rt::coding {
 
@@ -14,7 +15,7 @@ const Gf256& gf() { return Gf256::instance(); }
 std::uint8_t poly_eval(std::span<const std::uint8_t> poly, std::uint8_t x) {
   std::uint8_t y = 0;
   // Horner, high-degree first.
-  for (std::size_t i = poly.size(); i-- > 0;) y = static_cast<std::uint8_t>(gf().mul(y, x) ^ poly[i]);
+  for (std::size_t i = poly.size(); i-- > 0;) y = narrow_cast<std::uint8_t>(gf().mul(y, x) ^ poly[i]);
   return y;
 }
 
@@ -26,7 +27,7 @@ ReedSolomon::ReedSolomon(std::size_t n, std::size_t k) : n_(n), k_(k) {
   // Generator g(x) = prod_{i=0}^{n-k-1} (x - alpha^i); low-degree-first.
   generator_ = {1};
   for (std::size_t i = 0; i < n_ - k_; ++i) {
-    const std::uint8_t root = gf().pow_alpha(static_cast<int>(i));
+    const std::uint8_t root = gf().pow_alpha(narrow_cast<int>(i));
     std::vector<std::uint8_t> next(generator_.size() + 1, 0);
     for (std::size_t j = 0; j < generator_.size(); ++j) {
       next[j + 1] ^= generator_[j];                  // x * g
@@ -42,9 +43,9 @@ std::vector<std::uint8_t> ReedSolomon::encode_block(std::span<const std::uint8_t
   // Systematic encoding: remainder of data(x) * x^(n-k) mod g(x).
   std::vector<std::uint8_t> rem(parity, 0);
   for (std::size_t i = 0; i < k_; ++i) {
-    const std::uint8_t feedback = static_cast<std::uint8_t>(data[i] ^ rem[parity - 1]);
+    const std::uint8_t feedback = narrow_cast<std::uint8_t>(data[i] ^ rem[parity - 1]);
     for (std::size_t j = parity; j-- > 1;)
-      rem[j] = static_cast<std::uint8_t>(rem[j - 1] ^ gf().mul(feedback, generator_[j]));
+      rem[j] = narrow_cast<std::uint8_t>(rem[j - 1] ^ gf().mul(feedback, generator_[j]));
     rem[0] = gf().mul(feedback, generator_[0]);
   }
   std::vector<std::uint8_t> out(data.begin(), data.end());
@@ -63,9 +64,9 @@ std::optional<std::vector<std::uint8_t>> ReedSolomon::decode_block(
   std::vector<std::uint8_t> synd(parity, 0);
   bool all_zero = true;
   for (std::size_t i = 0; i < parity; ++i) {
-    const std::uint8_t x = gf().pow_alpha(static_cast<int>(i));
+    const std::uint8_t x = gf().pow_alpha(narrow_cast<int>(i));
     std::uint8_t y = 0;
-    for (std::size_t j = 0; j < n_; ++j) y = static_cast<std::uint8_t>(gf().mul(y, x) ^ codeword[j]);
+    for (std::size_t j = 0; j < n_; ++j) y = narrow_cast<std::uint8_t>(gf().mul(y, x) ^ codeword[j]);
     synd[i] = y;
     all_zero = all_zero && (y == 0);
   }
@@ -80,7 +81,7 @@ std::optional<std::vector<std::uint8_t>> ReedSolomon::decode_block(
   for (std::size_t step = 0; step < parity; ++step) {
     std::uint8_t delta = synd[step];
     for (std::size_t i = 1; i <= l && i < sigma.size(); ++i)
-      delta = static_cast<std::uint8_t>(delta ^ gf().mul(sigma[i], synd[step - i]));
+      delta = narrow_cast<std::uint8_t>(delta ^ gf().mul(sigma[i], synd[step - i]));
     if (delta == 0) {
       ++m;
     } else if (2 * l <= step) {
@@ -88,7 +89,7 @@ std::optional<std::vector<std::uint8_t>> ReedSolomon::decode_block(
       const std::uint8_t scale = gf().div(delta, b);
       if (sigma.size() < prev.size() + m) sigma.resize(prev.size() + m, 0);
       for (std::size_t i = 0; i < prev.size(); ++i)
-        sigma[i + m] = static_cast<std::uint8_t>(sigma[i + m] ^ gf().mul(scale, prev[i]));
+        sigma[i + m] = narrow_cast<std::uint8_t>(sigma[i + m] ^ gf().mul(scale, prev[i]));
       l = step + 1 - l;
       prev = tmp;
       b = delta;
@@ -97,7 +98,7 @@ std::optional<std::vector<std::uint8_t>> ReedSolomon::decode_block(
       const std::uint8_t scale = gf().div(delta, b);
       if (sigma.size() < prev.size() + m) sigma.resize(prev.size() + m, 0);
       for (std::size_t i = 0; i < prev.size(); ++i)
-        sigma[i + m] = static_cast<std::uint8_t>(sigma[i + m] ^ gf().mul(scale, prev[i]));
+        sigma[i + m] = narrow_cast<std::uint8_t>(sigma[i + m] ^ gf().mul(scale, prev[i]));
       ++m;
     }
   }
@@ -109,7 +110,7 @@ std::optional<std::vector<std::uint8_t>> ReedSolomon::decode_block(
   // coefficient of x^(n-1-j), position j errs iff sigma(alpha^-(n-1-j)) = 0.
   std::vector<std::size_t> error_pos;
   for (std::size_t j = 0; j < n_; ++j) {
-    const int power = -static_cast<int>(n_ - 1 - j);
+    const int power = -narrow_cast<int>(n_ - 1 - j);
     if (poly_eval(sigma, gf().pow_alpha(power)) == 0) error_pos.push_back(j);
   }
   if (error_pos.size() != num_errors) return std::nullopt;
@@ -118,7 +119,7 @@ std::optional<std::vector<std::uint8_t>> ReedSolomon::decode_block(
   std::vector<std::uint8_t> omega(parity, 0);
   for (std::size_t i = 0; i < parity; ++i) {
     for (std::size_t j = 0; j < sigma.size() && j <= i; ++j)
-      omega[i] = static_cast<std::uint8_t>(omega[i] ^ gf().mul(synd[i - j], sigma[j]));
+      omega[i] = narrow_cast<std::uint8_t>(omega[i] ^ gf().mul(synd[i - j], sigma[j]));
   }
   // Formal derivative of sigma.
   std::vector<std::uint8_t> sigma_deriv;
@@ -130,21 +131,21 @@ std::optional<std::vector<std::uint8_t>> ReedSolomon::decode_block(
   // (first consecutive root alpha^0) => e_j = Xj * omega(Xj^-1)/sigma'(Xj^-1).
   std::vector<std::uint8_t> corrected(codeword.begin(), codeword.end());
   for (const auto j : error_pos) {
-    const int loc_power = static_cast<int>(n_ - 1 - j);
+    const int loc_power = narrow_cast<int>(n_ - 1 - j);
     const std::uint8_t x_inv = gf().pow_alpha(-loc_power);
     const std::uint8_t num = poly_eval(omega, x_inv);
     const std::uint8_t den = poly_eval(sigma_deriv, x_inv);
     if (den == 0) return std::nullopt;
     const std::uint8_t magnitude = gf().mul(gf().pow_alpha(loc_power), gf().div(num, den));
-    corrected[j] = static_cast<std::uint8_t>(corrected[j] ^ magnitude);
+    corrected[j] = narrow_cast<std::uint8_t>(corrected[j] ^ magnitude);
   }
 
   // Verify by re-computing syndromes.
   for (std::size_t i = 0; i < parity; ++i) {
-    const std::uint8_t x = gf().pow_alpha(static_cast<int>(i));
+    const std::uint8_t x = gf().pow_alpha(narrow_cast<int>(i));
     std::uint8_t y = 0;
     for (std::size_t j = 0; j < n_; ++j)
-      y = static_cast<std::uint8_t>(gf().mul(y, x) ^ corrected[j]);
+      y = narrow_cast<std::uint8_t>(gf().mul(y, x) ^ corrected[j]);
     if (y != 0) return std::nullopt;
   }
   return std::vector<std::uint8_t>(corrected.begin(), corrected.begin() + k_);

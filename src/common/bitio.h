@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/error.h"
+#include "common/narrow.h"
 
 namespace rt {
 
@@ -19,7 +20,7 @@ namespace rt {
   std::vector<std::uint8_t> bits;
   bits.reserve(bytes.size() * 8);
   for (const auto b : bytes)
-    for (int i = 7; i >= 0; --i) bits.push_back(static_cast<std::uint8_t>((b >> i) & 1U));
+    for (int i = 7; i >= 0; --i) bits.push_back(narrow_cast<std::uint8_t>((b >> i) & 1U));
   return bits;
 }
 
@@ -29,7 +30,7 @@ namespace rt {
   std::vector<std::uint8_t> bytes(bits.size() / 8, 0);
   for (std::size_t i = 0; i < bits.size(); ++i) {
     RT_ENSURE(bits[i] <= 1, "bit values must be 0 or 1");
-    bytes[i / 8] = static_cast<std::uint8_t>((bytes[i / 8] << 1) | bits[i]);
+    bytes[i / 8] = narrow_cast<std::uint8_t>((bytes[i / 8] << 1) | bits[i]);
   }
   return bytes;
 }

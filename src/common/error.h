@@ -1,13 +1,41 @@
-// Error handling primitives shared by every RetroTurbo module.
+// Error handling and contract primitives shared by every RetroTurbo module.
 //
 // Per the C++ Core Guidelines (E.2, I.5) we report precondition violations
 // and runtime failures with exceptions carrying enough context to diagnose
 // the failing call site.
+//
+// Contract macro conventions (see DESIGN.md "Contracts and checking"):
+//
+//   RT_ENSURE(cond, msg?)       Always-on public-API precondition. Throws
+//                               rt::PreconditionError. Use at module entry
+//                               points to validate caller-supplied inputs.
+//   RT_ASSERT(cond, msg?)       Internal invariant. Checked only when
+//                               RT_ENABLE_ASSERTS is 1 (Debug or sanitizer
+//                               builds); compiles to nothing in Release.
+//   RT_DCHECK_FINITE(value)     Debug-only finiteness check for DSP hot
+//                               paths (doubles, Complex, or any range of
+//                               them). Catches NaN/Inf propagation at the
+//                               point of creation instead of as a corrupted
+//                               BER curve. Compiles to nothing in Release.
 #pragma once
 
+#include <cmath>
+#include <complex>
 #include <source_location>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
+
+// RT_ENABLE_ASSERTS: 1 when debug-only contracts (RT_ASSERT,
+// RT_DCHECK_FINITE) are live. Defaults to following NDEBUG; sanitizer
+// presets force it to 1 so ASan/UBSan runs also exercise the contracts.
+#if !defined(RT_ENABLE_ASSERTS)
+#if defined(NDEBUG)
+#define RT_ENABLE_ASSERTS 0
+#else
+#define RT_ENABLE_ASSERTS 1
+#endif
+#endif
 
 namespace rt {
 
@@ -24,6 +52,14 @@ class RuntimeError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Thrown by RT_ASSERT / RT_DCHECK_FINITE when an internal invariant is
+/// broken in a checked build. Distinct from PreconditionError so tests can
+/// tell "caller misused the API" from "the implementation is wrong".
+class AssertionError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
 namespace detail {
 
 [[noreturn]] inline void fail_precondition(const char* expr, const std::string& msg,
@@ -31,6 +67,39 @@ namespace detail {
   throw PreconditionError(std::string(loc.file_name()) + ":" + std::to_string(loc.line()) +
                           ": precondition `" + expr + "` failed" +
                           (msg.empty() ? "" : (": " + msg)));
+}
+
+[[noreturn]] inline void fail_assertion(const char* expr, const std::string& msg,
+                                        const std::source_location& loc) {
+  throw AssertionError(std::string(loc.file_name()) + ":" + std::to_string(loc.line()) +
+                       ": assertion `" + expr + "` failed" +
+                       (msg.empty() ? "" : (": " + msg)));
+}
+
+/// True when every element of `v` is finite. Overloads cover the value
+/// categories that flow through the DSP pipeline: real scalars, complex
+/// samples, and ranges of either.
+template <typename T>
+  requires std::is_arithmetic_v<T>
+constexpr bool all_finite(T v) {
+  if constexpr (std::is_floating_point_v<T>) return std::isfinite(v);
+  return true;  // integral values are always finite
+}
+
+template <typename T>
+constexpr bool all_finite(const std::complex<T>& v) {
+  return std::isfinite(v.real()) && std::isfinite(v.imag());
+}
+
+template <typename Range>
+  requires requires(const Range& r) {
+    std::begin(r);
+    std::end(r);
+  }
+constexpr bool all_finite(const Range& r) {
+  for (const auto& v : r)
+    if (!all_finite(v)) return false;
+  return true;
 }
 
 }  // namespace detail
@@ -41,7 +110,31 @@ inline void ensure(bool cond, const char* expr, const std::string& msg = "",
   if (!cond) detail::fail_precondition(expr, msg, loc);
 }
 
+/// Verifies an internal invariant; throws AssertionError on failure. Callers
+/// normally reach this through RT_ASSERT so release builds pay nothing.
+inline void assert_true(bool cond, const char* expr, const std::string& msg = "",
+                        const std::source_location& loc = std::source_location::current()) {
+  if (!cond) detail::fail_assertion(expr, msg, loc);
+}
+
+/// Verifies that a scalar / complex sample / range of samples is finite.
+template <typename T>
+inline void check_finite(const T& value, const char* expr,
+                         const std::source_location& loc = std::source_location::current()) {
+  if (!detail::all_finite(value)) detail::fail_assertion(expr, "value is not finite", loc);
+}
+
 }  // namespace rt
 
 /// Precondition check macro that captures the failing expression text.
 #define RT_ENSURE(cond, ...) ::rt::ensure(static_cast<bool>(cond), #cond, ##__VA_ARGS__)
+
+#if RT_ENABLE_ASSERTS
+#define RT_ASSERT(cond, ...) ::rt::assert_true(static_cast<bool>(cond), #cond, ##__VA_ARGS__)
+#define RT_DCHECK_FINITE(value) ::rt::check_finite((value), #value)
+#else
+// Compiled out: the operand is not evaluated (sizeof is unevaluated) but
+// stays visible to the compiler, so no -Wunused warnings and truly zero cost.
+#define RT_ASSERT(cond, ...) static_cast<void>(sizeof((cond) ? 1 : 0))
+#define RT_DCHECK_FINITE(value) static_cast<void>(sizeof((value)))
+#endif

@@ -1,22 +1,94 @@
 // Checked narrowing conversions (GSL-style `narrow`), Core Guidelines ES.46.
+//
+// Raw `static_cast` to a narrow integer type is banned in src/ by
+// tools/rt_lint.py; pick the conversion that states your intent:
+//
+//   rt::narrow<T>(v)        Always-checked. Throws rt::RuntimeError if the
+//                           value does not survive the round trip. Use at
+//                           API boundaries and anywhere the input is not
+//                           already range-restricted.
+//   rt::narrow_cast<T>(v)   Intent-marked narrowing that is lossless by
+//                           construction (masked values, loop bounds already
+//                           validated, ...). Checked via RT_ASSERT in Debug
+//                           and sanitizer builds, a plain static_cast in
+//                           Release — zero cost on hot paths.
+//   rt::saturate_cast<T>(v) Clamps to the representable range of T instead
+//                           of failing. Use for quantizers / ADC models
+//                           where clipping is the desired semantics.
 #pragma once
 
+#include <algorithm>
+#include <limits>
 #include <type_traits>
 
 #include "common/error.h"
 
 namespace rt {
 
+namespace detail {
+
+/// True when `v` converts to `To` and back without changing value or sign.
+template <typename To, typename From>
+constexpr bool narrowing_is_lossless(From v) {
+  const auto out = static_cast<To>(v);
+  if (static_cast<From>(out) != v) return false;
+  if constexpr (std::is_signed_v<From> != std::is_signed_v<To>) {
+    if ((v < From{}) != (out < To{})) return false;
+  }
+  return true;
+}
+
+}  // namespace detail
+
 /// Converts `v` to `To`, throwing RuntimeError if the value does not survive
 /// the round trip (lossy narrowing).
 template <typename To, typename From>
 [[nodiscard]] constexpr To narrow(From v) {
-  const auto out = static_cast<To>(v);
-  if (static_cast<From>(out) != v) throw RuntimeError("narrowing conversion lost information");
-  if constexpr (std::is_signed_v<From> != std::is_signed_v<To>) {
-    if ((v < From{}) != (out < To{})) throw RuntimeError("narrowing conversion changed sign");
+  if (!detail::narrowing_is_lossless<To>(v)) {
+    if constexpr (std::is_signed_v<From> != std::is_signed_v<To>) {
+      if ((v < From{}) != (static_cast<To>(v) < To{}))
+        throw RuntimeError("narrowing conversion changed sign");
+    }
+    throw RuntimeError("narrowing conversion lost information");
   }
-  return out;
+  return static_cast<To>(v);
+}
+
+/// Narrowing cast the caller asserts is lossless. Verified in checked builds
+/// (RT_ENABLE_ASSERTS), free in Release.
+template <typename To, typename From>
+[[nodiscard]] constexpr To narrow_cast(From v) {
+#if RT_ENABLE_ASSERTS
+  RT_ASSERT(detail::narrowing_is_lossless<To>(v), "narrow_cast lost information");
+#endif
+  return static_cast<To>(v);
+}
+
+/// Converts `v` to the integral type `To`, clamping to To's representable
+/// range. NaN input (floating From) clamps to To's minimum.
+template <typename To, typename From>
+[[nodiscard]] constexpr To saturate_cast(From v) {
+  static_assert(std::is_integral_v<To>, "saturate_cast targets integral types");
+  constexpr To lo = std::numeric_limits<To>::min();
+  constexpr To hi = std::numeric_limits<To>::max();
+  if constexpr (std::is_floating_point_v<From>) {
+    if (!(v > static_cast<From>(lo))) return lo;  // also catches NaN
+    if (v >= static_cast<From>(hi)) return hi;
+    return static_cast<To>(v);
+  } else {
+    using Wide = std::common_type_t<From, To>;
+    if constexpr (std::is_signed_v<From> && std::is_unsigned_v<To>) {
+      if (v < From{}) return lo;
+      return static_cast<Wide>(v) > static_cast<Wide>(hi) ? hi : static_cast<To>(v);
+    } else if constexpr (std::is_unsigned_v<From> && std::is_signed_v<To>) {
+      using UWide = std::make_unsigned_t<Wide>;
+      return static_cast<UWide>(v) > static_cast<UWide>(hi) ? hi : static_cast<To>(v);
+    } else {
+      if (static_cast<Wide>(v) < static_cast<Wide>(lo)) return lo;
+      if (static_cast<Wide>(v) > static_cast<Wide>(hi)) return hi;
+      return static_cast<To>(v);
+    }
+  }
 }
 
 }  // namespace rt

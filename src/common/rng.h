@@ -9,6 +9,8 @@
 #include <random>
 #include <vector>
 
+#include "common/narrow.h"
+
 namespace rt {
 
 /// Thin wrapper over a 64-bit Mersenne Twister with convenience draws.
@@ -46,7 +48,7 @@ class Rng {
   /// `n` random payload bytes.
   [[nodiscard]] std::vector<std::uint8_t> bytes(std::size_t n) {
     std::vector<std::uint8_t> out(n);
-    for (auto& b : out) b = static_cast<std::uint8_t>(uniform_int(0, 255));
+    for (auto& b : out) b = narrow_cast<std::uint8_t>(uniform_int(0, 255));
     return out;
   }
 

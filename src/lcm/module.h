@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "common/narrow.h"
 #include "common/rng.h"
 #include "lcm/pixel.h"
 
@@ -54,7 +55,7 @@ class Module {
     }
   }
 
-  [[nodiscard]] int bits() const { return static_cast<int>(pixels_.size()); }
+  [[nodiscard]] int bits() const { return narrow_cast<int>(pixels_.size()); }
   [[nodiscard]] int max_level() const { return (1 << bits()) - 1; }
 
   /// Sets the drive level for subsequent step() calls: pixels named by the
@@ -75,7 +76,7 @@ class Module {
   Complex step(double dt) {
     Complex acc{};
     for (std::size_t i = 0; i < pixels_.size(); ++i) {
-      const int bit = bits() - 1 - static_cast<int>(i);
+      const int bit = bits() - 1 - narrow_cast<int>(i);
       const bool driven = ((level_ >> bit) & 1) != 0;
       acc += pixels_[i].step(driven, dt);
     }

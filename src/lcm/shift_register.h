@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/error.h"
+#include "common/narrow.h"
 
 namespace rt::lcm {
 
@@ -73,7 +74,7 @@ class ShiftRegisterChain {
     const int level = levels[mi];
     RT_ENSURE(level >= 0 && level < (1 << bits_per_module), "level out of range");
     for (int b = bits_per_module - 1; b >= 0; --b)
-      frame.push_back(static_cast<std::uint8_t>((level >> b) & 1));
+      frame.push_back(narrow_cast<std::uint8_t>((level >> b) & 1));
   }
   return frame;
 }

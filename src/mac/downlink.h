@@ -13,6 +13,7 @@
 #include <string>
 
 #include "common/error.h"
+#include "common/narrow.h"
 #include "common/rng.h"
 
 namespace rt::mac {
@@ -72,7 +73,7 @@ class TagProtocol {
         if (state_ == TagState::kReady || state_ == TagState::kArbitrating ||
             state_ == TagState::kReplied) {
           RT_ENSURE(cmd.frame_slots >= 1, "Query must open at least one slot");
-          countdown_ = static_cast<int>(rng_->uniform_int(0, cmd.frame_slots - 1));
+          countdown_ = narrow_cast<int>(rng_->uniform_int(0, cmd.frame_slots - 1));
           state_ = TagState::kArbitrating;
           if (countdown_ == 0) {
             state_ = TagState::kReplied;

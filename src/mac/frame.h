@@ -11,6 +11,7 @@
 
 #include "coding/crc.h"
 #include "common/error.h"
+#include "common/narrow.h"
 
 namespace rt::mac {
 
@@ -30,12 +31,12 @@ struct MacFrame {
   out.reserve(f.payload.size() + 6);
   out.push_back(f.tag_id);
   out.push_back(f.seq);
-  out.push_back(static_cast<std::uint8_t>(f.payload.size() >> 8));
-  out.push_back(static_cast<std::uint8_t>(f.payload.size() & 0xFF));
+  out.push_back(narrow_cast<std::uint8_t>(f.payload.size() >> 8));
+  out.push_back(narrow_cast<std::uint8_t>(f.payload.size() & 0xFF));
   out.insert(out.end(), f.payload.begin(), f.payload.end());
   const std::uint16_t crc = coding::crc16_ccitt(out);
-  out.push_back(static_cast<std::uint8_t>(crc >> 8));
-  out.push_back(static_cast<std::uint8_t>(crc & 0xFF));
+  out.push_back(narrow_cast<std::uint8_t>(crc >> 8));
+  out.push_back(narrow_cast<std::uint8_t>(crc & 0xFF));
   return out;
 }
 
@@ -46,7 +47,7 @@ struct MacFrame {
   if (bytes.size() != len + 6) return std::nullopt;
   const std::uint16_t crc = coding::crc16_ccitt(bytes.first(bytes.size() - 2));
   const std::uint16_t got =
-      static_cast<std::uint16_t>((bytes[bytes.size() - 2] << 8) | bytes[bytes.size() - 1]);
+      narrow_cast<std::uint16_t>((bytes[bytes.size() - 2] << 8) | bytes[bytes.size() - 1]);
   if (crc != got) return std::nullopt;
   MacFrame f;
   f.tag_id = bytes[0];

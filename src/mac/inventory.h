@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "common/narrow.h"
 #include "mac/downlink.h"
 #include "mac/goodput.h"
 #include "mac/rate_table.h"
@@ -62,7 +63,7 @@ struct InventoryOutcome {
     ++out.frames_opened;
     // Open a frame sized to the estimated backlog (known here; a real
     // reader estimates it from collision statistics).
-    frame = static_cast<std::uint16_t>(std::clamp<long>(remaining(), 2, 1024));
+    frame = narrow_cast<std::uint16_t>(std::clamp<long>(remaining(), 2, 1024));
     auto repliers = broadcast({DownlinkType::kQuery, 0, frame, 0, 0});
     for (std::uint16_t slot = 0;; ++slot) {
       if (repliers.size() == 1) {
@@ -81,7 +82,7 @@ struct InventoryOutcome {
   // Rate assignment pass.
   for (std::size_t i = 0; i < tags.size(); ++i) {
     const auto& opt = model.best_option(table, tag_snrs_db[i]);
-    const auto idx = static_cast<std::uint8_t>(&opt - table.all().data());
+    const auto idx = narrow_cast<std::uint8_t>(&opt - table.all().data());
     (void)broadcast({DownlinkType::kRateAssign, tags[i].id(), 0, idx, 0});
   }
   return out;

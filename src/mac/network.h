@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "common/narrow.h"
 #include "common/rng.h"
 #include "mac/goodput.h"
 #include "mac/rate_table.h"
@@ -57,7 +58,7 @@ struct NetworkStudyResult {
     for (int i = 0; i < num_tags; ++i) {
       const double d = rng.uniform(cfg.min_distance_m, cfg.max_distance_m);
       snrs[i] = cfg.budget.snr_db_at(d);
-      ids[i] = static_cast<std::uint8_t>(i);
+      ids[i] = narrow<std::uint8_t>(i);
     }
     // Discovery (adds protocol fidelity + the rounds metric).
     const auto disc = discover_tags(ids, cfg.discovery_frame_slots, rng);

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/error.h"
+#include "common/narrow.h"
 #include "signal/gray.h"
 
 namespace rt::phy {
@@ -61,7 +62,7 @@ class Constellation {
     const auto to_level = [&](std::size_t offset) {
       std::uint32_t v = 0;
       for (int b = 0; b < bits_; ++b) v = (v << 1) | bits[offset + static_cast<std::size_t>(b)];
-      return static_cast<int>(sig::gray_encode(v));
+      return narrow_cast<int>(sig::gray_encode(v));
     };
     SymbolLevels s;
     s.level_i = to_level(0);
@@ -75,9 +76,9 @@ class Constellation {
     bits.reserve(static_cast<std::size_t>(bits_per_symbol()));
     const auto push_level = [&](int level) {
       RT_ENSURE(level >= 0 && level < levels_per_axis(), "level out of range");
-      const std::uint32_t v = sig::gray_decode(static_cast<std::uint32_t>(level));
+      const std::uint32_t v = sig::gray_decode(narrow_cast<std::uint32_t>(level));
       for (int b = bits_ - 1; b >= 0; --b)
-        bits.push_back(static_cast<std::uint8_t>((v >> b) & 1U));
+        bits.push_back(narrow_cast<std::uint8_t>((v >> b) & 1U));
     };
     push_level(s.level_i);
     if (use_q_) push_level(s.level_q);

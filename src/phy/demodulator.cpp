@@ -90,6 +90,7 @@ DemodResult Demodulator::demodulate(const sig::IqWaveform& rx, int payload_slots
       frame_start + static_cast<std::size_t>(layout.payload_begin()) * t_samps;
   const auto eq_result = eq.equalize(corrected, payload_begin, payload_slots, histories);
   out.equalizer_metric = eq_result.final_metric;
+  RT_DCHECK_FINITE(out.equalizer_metric);
 
   out.bits.reserve(static_cast<std::size_t>(payload_slots) * constellation_.bits_per_symbol());
   for (const auto& sym : eq_result.symbols) {

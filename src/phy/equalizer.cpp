@@ -37,10 +37,12 @@ std::string merge_key(const Branch& b, int dsm_order) {
   const std::size_t tail = std::min<std::size_t>(b.decisions.size(),
                                                  static_cast<std::size_t>(dsm_order - 1));
   for (std::size_t i = b.decisions.size() - tail; i < b.decisions.size(); ++i) {
+    // rt-lint: narrowing-ok (opaque hash key; only equality matters)
     key.push_back(static_cast<char>(b.decisions[i].level_i + 2));
-    key.push_back(static_cast<char>(b.decisions[i].level_q + 2));
+    key.push_back(static_cast<char>(b.decisions[i].level_q + 2));  // rt-lint: narrowing-ok
   }
   key.push_back('|');
+  // rt-lint: narrowing-ok (opaque hash key; only equality matters)
   for (const auto h : b.pixel_hist) key.push_back(static_cast<char>(h));
   return key;
 }
@@ -207,6 +209,7 @@ EqualizerResult DfeEqualizer::equalize(const sig::IqWaveform& rx, std::size_t pa
     RT_ENSURE(!branches.empty(), "equalizer lost all branches");
   }
 
+  RT_DCHECK_FINITE(branches.front().metric);
   const auto best = std::min_element(
       branches.begin(), branches.end(),
       [](const Branch& a, const Branch& b) { return a.metric < b.metric; });

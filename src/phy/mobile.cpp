@@ -1,5 +1,6 @@
 #include "phy/mobile.h"
 
+#include "common/narrow.h"
 #include "lcm/tag_array.h"
 #include "linalg/least_squares.h"
 #include "signal/mls.h"
@@ -52,7 +53,7 @@ MobilePacket MobileModulator::modulate(std::span<const std::uint8_t> payload_bit
   const std::size_t group_bits =
       static_cast<std::size_t>(p_.dsm_order) * static_cast<std::size_t>(bps);
   while (bits.size() % group_bits != 0) bits.push_back(0);
-  const int total_symbols = static_cast<int>(bits.size()) / bps;
+  const int total_symbols = narrow_cast<int>(bits.size()) / bps;
 
   MobilePacket out;
   out.layout = FrameLayout::for_params(p_, 0);

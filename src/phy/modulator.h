@@ -10,6 +10,7 @@
 #include <span>
 #include <vector>
 
+#include "common/narrow.h"
 #include "lcm/tag_array.h"
 #include "phy/constellation.h"
 #include "phy/frame.h"
@@ -49,7 +50,7 @@ class Modulator {
     const std::size_t group_bits =
         static_cast<std::size_t>(p_.dsm_order) * static_cast<std::size_t>(bps);
     while (bits.size() % group_bits != 0) bits.push_back(0);
-    const int payload_symbols = static_cast<int>(bits.size()) / bps;
+    const int payload_symbols = narrow_cast<int>(bits.size()) / bps;
     const int groups = payload_symbols / p_.dsm_order;
     const int payload_slots = groups * p_.period_slots();
 

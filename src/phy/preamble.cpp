@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/error.h"
 #include "lcm/tag_array.h"
 #include "linalg/least_squares.h"
 #include "signal/correlate.h"
@@ -76,6 +77,8 @@ double PreambleProcessor::regress(const sig::IqWaveform& rx, std::size_t offset,
 
 PreambleDetection PreambleProcessor::detect(const sig::IqWaveform& rx,
                                             std::size_t search_limit) const {
+  RT_ENSURE(rx.sample_rate_hz == p_.sample_rate_hz,
+            "received waveform sample rate does not match the PHY parameters");
   PreambleDetection det;
   if (rx.size() < reference_.size()) return det;
 
@@ -123,6 +126,11 @@ PreambleDetection PreambleProcessor::detect(const sig::IqWaveform& rx,
 
 sig::IqWaveform PreambleProcessor::correct(const sig::IqWaveform& rx,
                                            const PreambleDetection& det) const {
+  RT_ENSURE(rx.sample_rate_hz == p_.sample_rate_hz,
+            "received waveform sample rate does not match the PHY parameters");
+  RT_DCHECK_FINITE(det.a);
+  RT_DCHECK_FINITE(det.b);
+  RT_DCHECK_FINITE(det.c);
   sig::IqWaveform out(rx.sample_rate_hz, rx.size());
   for (std::size_t i = 0; i < rx.size(); ++i)
     out[i] = det.a * rx[i] + det.b * std::conj(rx[i]) + det.c;

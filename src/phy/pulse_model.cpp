@@ -23,7 +23,7 @@ PulseBank collect_fingerprints(const PhyParams& params, const WaveformSource& so
   if (v == 0) {
     seq = {1};
   } else {
-    seq = sig::mls(static_cast<unsigned>(v + 1));
+    seq = sig::mls(narrow_cast<unsigned>(v + 1));
   }
   const std::size_t period = seq.size();
   const std::size_t cycles = 2 * period;
@@ -67,6 +67,7 @@ PulseBank collect_fingerprints(const PhyParams& params, const WaveformSource& so
       std::vector<Complex> pulse(pulse_len);
       for (std::size_t i = 0; i < pulse_len; ++i)
         pulse[i] = active[begin + i] - idle[begin + i];
+      RT_DCHECK_FINITE(pulse);
       bank.set_pulse(m, key, std::move(pulse));
     }
   }

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/error.h"
+#include "common/narrow.h"
 #include "lcm/tag_array.h"
 #include "phy/params.h"
 #include "signal/waveform.h"
@@ -84,7 +85,7 @@ class PulseBank {
  private:
   [[nodiscard]] std::size_t index(int module_global, unsigned history) const {
     RT_ENSURE(module_global >= 0 && module_global < modules_, "module index out of range");
-    RT_ENSURE(history < static_cast<unsigned>(entries_), "history index out of range");
+    RT_ENSURE(history < narrow_cast<unsigned>(entries_), "history index out of range");
     return static_cast<std::size_t>(module_global) * static_cast<std::size_t>(entries_) + history;
   }
 

@@ -47,7 +47,7 @@ OfflineModel OfflineTrainer::train_from_banks(const PhyParams& params,
     for (int m = 0; m < modules; ++m) {
       const Complex axis = module_axis(m, l);
       for (int h = 0; h < entries; ++h) {
-        const auto pulse = bank.pulse(m, static_cast<unsigned>(h));
+        const auto pulse = bank.pulse(m, narrow_cast<unsigned>(h));
         for (std::size_t k = 0; k < pulse_len; ++k) {
           // Project onto the module's nominal axis; the tiny orthogonal
           // residue from polarizer attachment errors is noise to the basis.
@@ -122,9 +122,9 @@ PulseBank OnlineTrainer::train(const PhyParams& params, const OfflineModel& mode
     for (std::size_t u = 0; u < unknowns; ++u) {
       double col_sq = 0.0;
       for (std::size_t i = 0; i < n; ++i) col_sq += a(i, u) * a(i, u);
-      const int s = static_cast<int>(u % static_cast<std::size_t>(s_rank));
+      const int s = narrow_cast<int>(u % static_cast<std::size_t>(s_rank));
       const double sig =
-          (s < static_cast<int>(model.sigma.size()) && model.sigma[s] > 0.0) ? model.sigma[s]
+          (s < narrow_cast<int>(model.sigma.size()) && model.sigma[s] > 0.0) ? model.sigma[s]
                                                                              : sigma1;
       const double weight = sigma1 / sig;
       a(n + u, u) = std::sqrt(ridge * col_sq) * weight;
@@ -140,6 +140,8 @@ PulseBank OnlineTrainer::train(const PhyParams& params, const OfflineModel& mode
   };
   const auto g_re = solve(b_re);
   const auto g_im = solve(b_im);
+  RT_DCHECK_FINITE(g_re);
+  RT_DCHECK_FINITE(g_im);
 
   PulseBank bank(modules, params.fingerprint_entries(), pulse_len);
   for (int m = 0; m < modules; ++m) {
@@ -154,7 +156,7 @@ PulseBank OnlineTrainer::train(const PhyParams& params, const OfflineModel& mode
             pulse[k] += gamma * model.bases(key_base + k, static_cast<std::size_t>(s));
         }
       }
-      bank.set_pulse(m, static_cast<unsigned>(key), std::move(pulse));
+      bank.set_pulse(m, narrow_cast<unsigned>(key), std::move(pulse));
     }
   }
 
@@ -217,6 +219,7 @@ void OnlineTrainer::calibrate_pixel_gains(const PhyParams& params, const FrameLa
 
   try {
     const auto gains = linalg::solve_least_squares(a, std::span<const double>(b));
+    RT_DCHECK_FINITE(gains);
     std::vector<Complex> cg(gains.size());
     for (std::size_t i = 0; i < gains.size(); ++i) cg[i] = Complex(gains[i], 0.0);
     bank.set_pixel_gains(std::move(cg), bits);

@@ -16,6 +16,7 @@
 #include <span>
 #include <vector>
 
+#include "common/narrow.h"
 #include "linalg/matrix.h"
 #include "phy/frame.h"
 #include "phy/params.h"
@@ -33,7 +34,7 @@ struct OfflineModel {
   linalg::RealMatrix bases;
   std::vector<double> sigma;
 
-  [[nodiscard]] int rank() const { return static_cast<int>(bases.cols()); }
+  [[nodiscard]] int rank() const { return narrow_cast<int>(bases.cols()); }
   [[nodiscard]] std::size_t domain() const { return bases.rows(); }
 };
 

@@ -4,6 +4,7 @@
 #include <cstddef>
 
 #include "common/error.h"
+#include "common/narrow.h"
 
 namespace rt::sig {
 
@@ -54,7 +55,7 @@ std::vector<std::uint8_t> mls(unsigned order) {
   const std::uint32_t mask = (order == 32) ? 0xFFFFFFFFU : ((1U << order) - 1U);
   for (std::size_t i = 0; i < period; ++i) {
     // Output the last stage.
-    out.push_back(static_cast<std::uint8_t>((state >> (order - 1)) & 1U));
+    out.push_back(narrow_cast<std::uint8_t>((state >> (order - 1)) & 1U));
     std::uint32_t feedback = 0;
     for (const int t : taps) {
       if (t == 0) break;

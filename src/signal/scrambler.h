@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/error.h"
+#include "common/narrow.h"
 
 namespace rt::sig {
 
@@ -28,9 +29,9 @@ class Scrambler {
     std::vector<std::uint8_t> out(bits.size());
     std::uint8_t state = seed_;
     for (std::size_t i = 0; i < bits.size(); ++i) {
-      const std::uint8_t key = static_cast<std::uint8_t>(((state >> 6) ^ (state >> 3)) & 1U);
-      out[i] = static_cast<std::uint8_t>((bits[i] & 1U) ^ key);
-      state = static_cast<std::uint8_t>(((state << 1) | key) & 0x7F);
+      const std::uint8_t key = narrow_cast<std::uint8_t>(((state >> 6) ^ (state >> 3)) & 1U);
+      out[i] = narrow_cast<std::uint8_t>((bits[i] & 1U) ^ key);
+      state = narrow_cast<std::uint8_t>(((state << 1) | key) & 0x7F);
     }
     return out;
   }

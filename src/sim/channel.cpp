@@ -1,5 +1,6 @@
 #include "sim/channel.h"
 
+#include "common/error.h"
 #include "optics/polarization.h"
 #include "phy/frame.h"
 #include "signal/awgn.h"
@@ -30,12 +31,14 @@ Channel::Channel(const phy::PhyParams& params, lcm::TagConfig tag_config,
   params_.validate();
   cfg_.pose.validate();
   ref_power_ = reference_power(params_, posed_tag_config(cfg_.pose));
+  RT_ENSURE(ref_power_ > 0.0, "tag configuration produces no modulated signal power");
   // Total per-axis noise: receiver AWGN realizing the target SNR plus the
   // ambient shot-noise floor (complex noise splits across the two axes).
   const double snr_lin = rt::from_db(cfg_.snr_db());
   const double awgn_var = ref_power_ / snr_lin / 2.0;
   const double shot = cfg_.ambient.shot_noise_sigma();
   sigma_ = std::sqrt(awgn_var + shot * shot);
+  RT_DCHECK_FINITE(sigma_);
 }
 
 lcm::TagConfig Channel::posed_tag_config(const Pose& pose) const {

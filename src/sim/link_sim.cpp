@@ -1,5 +1,6 @@
 #include "sim/link_sim.h"
 
+#include "common/narrow.h"
 #include "phy/training.h"
 
 namespace rt::sim {
@@ -24,6 +25,7 @@ phy::OfflineModel build_offline_model(const phy::PhyParams& params, const Channe
 phy::OfflineModel train_offline_model(const phy::PhyParams& params,
                                       const lcm::TagConfig& tag_config,
                                       const std::vector<double>& yaws_deg, int rank) {
+  RT_ENSURE(!yaws_deg.empty(), "offline training needs at least one yaw orientation");
   ChannelConfig probe;
   probe.snr_override_db = 60.0;  // unused by the noiseless sources
   Channel channel(params, tag_config, probe);
@@ -57,11 +59,12 @@ LinkSimulator::LinkSimulator(const phy::PhyParams& params, const lcm::TagConfig&
 
 LinkSimulator::PacketOutcome LinkSimulator::send_packet(
     std::span<const std::uint8_t> payload_bits) {
+  RT_ENSURE(!payload_bits.empty(), "packets need a non-empty payload");
   const auto pkt = modulator_.modulate(payload_bits);
 
   // Random pre-padding: the reader does not know when the packet starts.
   const int pad_slots =
-      opts_.max_pad_slots > 0 ? static_cast<int>(rng_.uniform_int(0, opts_.max_pad_slots)) : 0;
+      opts_.max_pad_slots > 0 ? narrow_cast<int>(rng_.uniform_int(0, opts_.max_pad_slots)) : 0;
   std::vector<lcm::Firing> shifted(pkt.firings.begin(), pkt.firings.end());
   const double pad_s = pad_slots * params_.slot_s;
   for (auto& f : shifted) f.time_s += pad_s;
@@ -91,6 +94,8 @@ LinkSimulator::PacketOutcome LinkSimulator::send_packet(
 }
 
 LinkStats LinkSimulator::run(int packets, std::size_t payload_bytes) {
+  RT_ENSURE(packets >= 1, "need at least one packet");
+  RT_ENSURE(payload_bytes >= 1, "need at least one payload byte");
   LinkStats stats;
   for (int p = 0; p < packets; ++p) {
     const auto payload = rng_.bits(payload_bytes * 8);

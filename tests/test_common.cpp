@@ -28,9 +28,9 @@ TEST(Narrow, RoundTripOk) {
 }
 
 TEST(Narrow, LossyThrows) {
-  EXPECT_THROW(narrow<std::uint8_t>(300), RuntimeError);
-  EXPECT_THROW(narrow<std::uint8_t>(-1), RuntimeError);
-  EXPECT_THROW(narrow<int>(1.5), RuntimeError);
+  EXPECT_THROW(static_cast<void>(narrow<std::uint8_t>(300)), RuntimeError);
+  EXPECT_THROW(static_cast<void>(narrow<std::uint8_t>(-1)), RuntimeError);
+  EXPECT_THROW(static_cast<void>(narrow<int>(1.5)), RuntimeError);
 }
 
 TEST(Rng, DeterministicForSameSeed) {

@@ -101,7 +101,7 @@ TEST(LinkBudget, YawLossGrowsFromZero) {
 
 TEST(LinkBudget, Validation) {
   EXPECT_THROW(LinkBudget(0.0, 10.0, 40.0), PreconditionError);
-  EXPECT_THROW(LinkBudget::fit(2.0, 10.0, 2.0, 20.0), PreconditionError);
+  EXPECT_THROW(static_cast<void>(LinkBudget::fit(2.0, 10.0, 2.0, 20.0)), PreconditionError);
   const auto lb = LinkBudget::narrow_beam();
   EXPECT_THROW((void)lb.snr_db_at(-1.0), PreconditionError);
 }

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Diff-only clang-format gate: checks ONLY files touched relative to a base
+# ref (default: merge-base with origin/main, falling back to HEAD~1, falling
+# back to the full tree for shallow/fresh clones). Never reformats — exits 1
+# with a diff when a touched file is mis-formatted.
+#
+# Usage: tools/format-check.sh [--all | --base <ref>]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "format-check.sh: WARNING: clang-format not installed; skipping" >&2
+  exit 0
+fi
+
+MODE="diff"
+BASE=""
+case "${1:-}" in
+  --all) MODE="all" ;;
+  --base) BASE="${2:?--base needs a ref}" ;;
+  "") ;;
+  *) echo "usage: tools/format-check.sh [--all | --base <ref>]" >&2; exit 2 ;;
+esac
+
+if [ "$MODE" = "all" ]; then
+  mapfile -t FILES < <(git ls-files 'src/**/*.h' 'src/**/*.cpp' 'tests/*.cpp' \
+                                    'bench/*.cpp' 'bench/*.h' 'examples/*.cpp')
+else
+  if [ -z "$BASE" ]; then
+    BASE=$(git merge-base HEAD origin/main 2>/dev/null \
+           || git rev-parse HEAD~1 2>/dev/null \
+           || echo "")
+  fi
+  if [ -z "$BASE" ]; then
+    echo "format-check.sh: no base ref available; checking full tree" >&2
+    exec "$0" --all
+  fi
+  mapfile -t FILES < <(git diff --name-only --diff-filter=ACMR "$BASE" -- \
+                         'src/**/*.h' 'src/**/*.cpp' 'tests/*.cpp' \
+                         'bench/*.cpp' 'bench/*.h' 'examples/*.cpp')
+fi
+
+if [ "${#FILES[@]}" -eq 0 ]; then
+  echo "format-check.sh: no C++ files to check"
+  exit 0
+fi
+
+STATUS=0
+for f in "${FILES[@]}"; do
+  [ -f "$f" ] || continue
+  if ! clang-format --dry-run --Werror "$f" >/dev/null 2>&1; then
+    echo "format-check.sh: $f needs formatting:" >&2
+    diff -u "$f" <(clang-format "$f") | head -40 >&2 || true
+    STATUS=1
+  fi
+done
+
+[ "$STATUS" -eq 0 ] && echo "format-check.sh: OK (${#FILES[@]} files)"
+exit "$STATUS"

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Static-analysis gate: clang-tidy over every translation unit (when
+# clang-tidy is installed) + the project linter tools/rt_lint.py.
+#
+# Usage: tools/lint.sh [build-dir]
+#   build-dir: a configured build tree containing compile_commands.json
+#              (default: build; the top-level CMakeLists exports it).
+#
+# Exit status is non-zero if either stage reports findings. When clang-tidy
+# is not installed (e.g. the minimal container image) that stage is skipped
+# with a warning; CI always installs it, so the gate stays meaningful.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+STATUS=0
+
+# --- Stage 1: clang-tidy -----------------------------------------------------
+if command -v clang-tidy >/dev/null 2>&1; then
+  if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+    echo "lint.sh: $BUILD_DIR/compile_commands.json not found; configure first:" >&2
+    echo "  cmake -B $BUILD_DIR -S ." >&2
+    exit 2
+  fi
+  mapfile -t TUS < <(find src tests bench examples -name '*.cpp' | sort)
+  echo "lint.sh: clang-tidy over ${#TUS[@]} translation units"
+  if command -v run-clang-tidy >/dev/null 2>&1; then
+    run-clang-tidy -quiet -p "$BUILD_DIR" "${TUS[@]}" || STATUS=1
+  else
+    for tu in "${TUS[@]}"; do
+      clang-tidy -quiet -p "$BUILD_DIR" "$tu" || STATUS=1
+    done
+  fi
+else
+  echo "lint.sh: WARNING: clang-tidy not installed; skipping clang-tidy stage" >&2
+fi
+
+# --- Stage 2: project rules --------------------------------------------------
+echo "lint.sh: rt_lint project rules"
+python3 tools/rt_lint.py || STATUS=1
+
+if [ "$STATUS" -ne 0 ]; then
+  echo "lint.sh: FAILED" >&2
+else
+  echo "lint.sh: OK"
+fi
+exit "$STATUS"

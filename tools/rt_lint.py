@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""RetroTurbo project linter: repo rules clang-tidy cannot express.
+
+Rules (see DESIGN.md "Static analysis and lint"):
+
+  R1 pragma-once      Every header under src/ starts its include guard with
+                      `#pragma once`.
+  R2 using-namespace  No `using namespace` at namespace/global scope in
+                      headers (function-local is allowed).
+  R3 narrow-cast      No raw `static_cast` to a sub-64-bit integer type in
+                      src/. Use rt::narrow (always checked), rt::narrow_cast
+                      (debug-checked, free in Release), or rt::saturate_cast
+                      (clamping). A provably-safe site may instead carry the
+                      annotation `// rt-lint: narrowing-ok (<why>)` on the
+                      same line.
+  R4 ensure-coverage  Every .cpp under src/ uses RT_ENSURE at least once
+                      (public entry points must validate their inputs), or
+                      carries `// rt-lint: no-preconditions (<why>)` near the
+                      top of the file.
+
+Exit status: 0 when clean, 1 when any finding is reported.
+Usage: tools/rt_lint.py [root-dir]   (default: repo root inferred from the
+script location; only src/ is scanned.)
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# Casts to these targets must go through rt::narrow / rt::narrow_cast /
+# rt::saturate_cast. 64-bit and pointer-sized targets (size_t, ptrdiff_t,
+# int64_t, ...) are excluded: index widening is the common safe case and
+# flagging it would bury real findings.
+NARROW_INT_TYPES = (
+    r"(?:signed\s+char|unsigned\s+char|char8_t|char16_t|char32_t|char|"
+    r"short\s+int|unsigned\s+short\s+int|unsigned\s+short|short|"
+    r"unsigned\s+int|unsigned|int|"
+    r"(?:std::)?u?int(?:8|16|32)_t|(?:std::)?u?int_fast(?:8|16|32)_t)"
+)
+NARROW_CAST_RE = re.compile(r"\bstatic_cast<\s*" + NARROW_INT_TYPES + r"\s*>")
+ALLOW_NARROW_RE = re.compile(r"//\s*rt-lint:\s*narrowing-ok")
+USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\s+[\w:]+\s*;")
+NO_PRECONDITIONS_RE = re.compile(r"//\s*rt-lint:\s*no-preconditions")
+
+# Files that implement the checked-cast layer itself.
+NARROW_RULE_EXEMPT = {"src/common/narrow.h", "src/common/error.h"}
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Best-effort removal of // comments and string/char literals so casts
+    mentioned in prose or log messages are not flagged."""
+    out: list[str] = []
+    i, n = 0, len(line)
+    while i < n:
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        if c in "\"'":
+            quote = c
+            i += 1
+            while i < n and line[i] != quote:
+                i += 2 if line[i] == "\\" else 1
+            i += 1
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def lint_file(path: Path, rel: str, findings: list[str]) -> None:
+    text = path.read_text(encoding="utf-8", errors="replace")
+    lines = text.splitlines()
+    is_header = path.suffix == ".h"
+
+    if is_header and "#pragma once" not in text:
+        findings.append(f"{rel}:1: [pragma-once] header is missing `#pragma once`")
+
+    brace_depth = 0
+    for ln, raw in enumerate(lines, start=1):
+        code = strip_comments_and_strings(raw)
+
+        if is_header and USING_NAMESPACE_RE.match(code) and brace_depth <= 1:
+            # Depth <= 1 ~= namespace or global scope (function bodies are
+            # deeper); good enough for this codebase's formatting.
+            findings.append(
+                f"{rel}:{ln}: [using-namespace] `using namespace` in a header "
+                "pollutes every includer; qualify names instead"
+            )
+
+        if rel not in NARROW_RULE_EXEMPT:
+            m = NARROW_CAST_RE.search(code)
+            prev = lines[ln - 2] if ln >= 2 else ""
+            annotated = ALLOW_NARROW_RE.search(raw) or ALLOW_NARROW_RE.search(prev)
+            if m and not annotated:
+                findings.append(
+                    f"{rel}:{ln}: [narrow-cast] raw `{m.group(0)}` — use rt::narrow, "
+                    "rt::narrow_cast, rt::saturate_cast, or annotate "
+                    "`// rt-lint: narrowing-ok (<why>)`"
+                )
+
+        brace_depth += code.count("{") - code.count("}")
+
+    if path.suffix == ".cpp":
+        if "RT_ENSURE" not in text and not NO_PRECONDITIONS_RE.search(text):
+            findings.append(
+                f"{rel}:1: [ensure-coverage] no RT_ENSURE in this translation unit; "
+                "validate public-API preconditions or annotate "
+                "`// rt-lint: no-preconditions (<why>)`"
+            )
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[1]).resolve() if len(argv) > 1 else Path(__file__).resolve().parent.parent
+    src = root / "src"
+    if not src.is_dir():
+        print(f"rt_lint: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    findings: list[str] = []
+    files = sorted(p for p in src.rglob("*") if p.suffix in (".h", ".cpp"))
+    for path in files:
+        lint_file(path, path.relative_to(root).as_posix(), findings)
+
+    for f in findings:
+        print(f)
+    print(
+        f"rt_lint: scanned {len(files)} files, {len(findings)} finding(s)",
+        file=sys.stderr,
+    )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
