@@ -20,6 +20,7 @@ int main() {
   rt::bench::print_header("Extension -- per-pixel calibration at 256-PQAM (16 kbps)",
                           "extends footnote 6 / design goal 'scalability' (section 3.1)",
                           "calibration removes the heterogeneity error floor");
+  rt::bench::BenchReport report("ext_pixel_calibration");
 
   auto base = rt::phy::PhyParams::rate_16kbps();
   auto calibrated = base;
@@ -32,6 +33,21 @@ int main() {
   tag.seed = 11;
 
   const std::vector<double> snrs = {35.0, 40.0, 45.0, 50.0, 55.0};
+
+  std::vector<rt::runtime::SweepPoint> points;
+  for (const bool cal : {false, true}) {
+    const auto& params = cal ? calibrated : base;
+    const auto offline = rt::sim::train_offline_model(params, tag);
+    for (const double snr : snrs) {
+      rt::sim::ChannelConfig ch;
+      ch.snr_override_db = snr;
+      ch.noise_seed = static_cast<std::uint64_t>(snr) * 3 + (cal ? 1 : 0);
+      points.push_back(rt::bench::make_point(params, tag, ch, offline, 7 + (cal ? 1 : 0)));
+    }
+  }
+  const auto sweep = rt::bench::run_points(points);
+  report.add_sweep(sweep);
+
   std::printf("\n%-22s", "SNR (dB)");
   for (const double s : snrs) std::printf("%12.0f", s);
   std::printf("\n");
@@ -39,17 +55,13 @@ int main() {
   std::vector<double> floor_plain;
   std::vector<double> floor_cal;
   for (const bool cal : {false, true}) {
-    const auto& params = cal ? calibrated : base;
-    const auto offline = rt::sim::train_offline_model(params, tag);
-    std::printf("%-22s", cal ? "with calibration" : "without calibration");
-    for (const double snr : snrs) {
-      rt::sim::ChannelConfig ch;
-      ch.snr_override_db = snr;
-      ch.noise_seed = static_cast<std::uint64_t>(snr) * 3 + (cal ? 1 : 0);
-      const auto stats = rt::bench::run_point(params, tag, ch, offline, 7 + (cal ? 1 : 0));
+    const char* series = cal ? "with calibration" : "without calibration";
+    std::printf("%-22s", series);
+    for (std::size_t si = 0; si < snrs.size(); ++si) {
+      const auto& stats = sweep.stats[(cal ? 1 : 0) * snrs.size() + si];
       (cal ? floor_cal : floor_plain).push_back(stats.ber());
+      report.add_point(series, snrs[si], stats);
       std::printf("%12s", rt::bench::ber_str(stats).c_str());
-      std::fflush(stdout);
     }
     std::printf("\n");
   }
@@ -60,6 +72,9 @@ int main() {
                   std::max(1, base.training_memory) * base.symbol_duration_s() * 1e3);
   const bool plain_floors = floor_plain.back() > 0.01;
   const bool cal_clears = floor_cal.back() < 0.01 && floor_cal[3] < 0.01;
+  report.add_scalar("uncalibrated_floor_ber", floor_plain.back());
+  report.add_scalar("calibrated_high_snr_ber", floor_cal.back());
+  report.write();
   std::printf("shape check: uncalibrated floor persists at high SNR: %s; "
               "calibrated link clears 1%%: %s\n",
               plain_floors ? "yes" : "NO", cal_clears ? "yes" : "NO");

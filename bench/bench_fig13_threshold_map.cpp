@@ -4,6 +4,9 @@
 // Paper shape: neither extreme wins -- pure high-order PQAM (L small) and
 // pure DSM (P small) both pay a threshold penalty; a combined middle point
 // is best, which is the argument for using DSM and PQAM together.
+//
+// The map comes from ONE optimize_parameters call (the grid is produced as
+// a unit), so this bench stays serial and only adds the JSON report.
 #include <cstdio>
 
 #include "analysis/optimizer.h"
@@ -13,6 +16,7 @@ int main() {
   rt::bench::print_header("Fig. 13 -- relative demodulation threshold map over (L, P)",
                           "section 5.3, Figure 13",
                           "a combined DSM+PQAM point beats both pure extremes");
+  rt::bench::BenchReport report("fig13_threshold_map");
 
   constexpr double kFs = 40e3;
   constexpr double kSlot = 0.5e-3;
@@ -35,10 +39,13 @@ int main() {
   std::printf("\n");
   for (const int l : opt.dsm_orders) {
     std::printf("%-8d", l);
+    char series[16];
+    std::snprintf(series, sizeof(series), "L=%d", l);
     for (const int bits : opt.bits_per_axis) {
       bool found = false;
       for (const auto& pt : res.grid) {
         if (pt.dsm_order != l || pt.bits_per_axis != bits) continue;
+        report.add_value(series, 1 << (2 * bits), pt.threshold_db_rel);
         std::printf("%10.1f", pt.threshold_db_rel);
         found = true;
         break;
@@ -52,10 +59,15 @@ int main() {
     std::printf("\nbest point: L=%d, %d-PQAM, T=%.2f ms\n", res.best->dsm_order,
                 1 << (2 * res.best->bits_per_axis), res.best->slot_s * 1e3);
     const bool combined = res.best->dsm_order > 1 && res.best->bits_per_axis >= 1;
+    report.add_scalar("best_dsm_order", res.best->dsm_order);
+    report.add_scalar("best_pqam_order", 1 << (2 * res.best->bits_per_axis));
+    report.add_scalar("best_slot_ms", res.best->slot_s * 1e3);
+    report.write();
     std::printf("shape check: optimum combines DSM (L>1) with PQAM: %s\n",
                 combined ? "yes" : "NO");
     return combined ? 0 : 1;
   }
+  report.write();
   std::printf("no feasible grid point\n");
   return 1;
 }

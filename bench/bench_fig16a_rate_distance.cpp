@@ -12,6 +12,7 @@ int main() {
   rt::bench::print_header("Fig. 16a -- BER vs distance for 4 / 8 Kbps",
                           "section 7.2.1, Figure 16a",
                           "monotone BER growth; 4 Kbps range > 8 Kbps range");
+  rt::bench::BenchReport report("fig16a_rate_distance");
 
   struct RateCase {
     const char* name;
@@ -20,29 +21,40 @@ int main() {
   const std::vector<RateCase> cases = {{"4kbps", rt::phy::PhyParams::rate_4kbps()},
                                        {"8kbps", rt::phy::PhyParams::rate_8kbps()}};
   const std::vector<double> distances = {3.0, 5.0, 6.5, 7.5, 8.5, 9.5, 10.5, 11.5};
-
-  std::printf("\n%-8s", "d (m)");
-  for (const double d : distances) std::printf("%12.1f", d);
-  std::printf("\n%-8s", "SNR(dB)");
   const auto budget = rt::optics::LinkBudget::narrow_beam();
-  for (const double d : distances) std::printf("%12.1f", budget.snr_db_at(d));
-  std::printf("\n");
 
-  std::vector<double> range_at_1pct;
+  // One sweep point per (rate, distance); the whole figure runs through
+  // the engine in a single fan-out.
+  std::vector<rt::runtime::SweepPoint> points;
   for (const auto& rc : cases) {
     const auto tag = rt::bench::realistic_tag(rc.params);
     const auto offline = rt::sim::train_offline_model(rc.params, tag);
-    std::printf("%-8s", rc.name);
-    double last_good = 0.0;
     for (const double d : distances) {
       rt::sim::ChannelConfig ch;
       ch.budget = budget;
       ch.pose.distance_m = d;
       ch.noise_seed = static_cast<std::uint64_t>(d * 100);
-      const auto stats = rt::bench::run_point(rc.params, tag, ch, offline);
-      if (stats.ber() < 0.01) last_good = d;
+      points.push_back(rt::bench::make_point(rc.params, tag, ch, offline));
+    }
+  }
+  const auto sweep = rt::bench::run_points(points);
+  report.add_sweep(sweep);
+
+  std::printf("\n%-8s", "d (m)");
+  for (const double d : distances) std::printf("%12.1f", d);
+  std::printf("\n%-8s", "SNR(dB)");
+  for (const double d : distances) std::printf("%12.1f", budget.snr_db_at(d));
+  std::printf("\n");
+
+  std::vector<double> range_at_1pct;
+  for (std::size_t ci = 0; ci < cases.size(); ++ci) {
+    std::printf("%-8s", cases[ci].name);
+    double last_good = 0.0;
+    for (std::size_t di = 0; di < distances.size(); ++di) {
+      const auto& stats = sweep.stats[ci * distances.size() + di];
+      if (stats.ber() < 0.01) last_good = distances[di];
+      report.add_point(cases[ci].name, distances[di], stats);
       std::printf("%12s", rt::bench::ber_str(stats).c_str());
-      std::fflush(stdout);
     }
     range_at_1pct.push_back(last_good);
     std::printf("\n");
@@ -51,6 +63,9 @@ int main() {
   std::printf("\nworking range (last distance with BER < 1%%): 4kbps %.1f m, 8kbps %.1f m\n",
               range_at_1pct[0], range_at_1pct[1]);
   std::printf("paper: 4kbps 10.5 m, 8kbps 7.5 m\n");
+  report.add_scalar("range_4kbps_m", range_at_1pct[0]);
+  report.add_scalar("range_8kbps_m", range_at_1pct[1]);
+  report.write();
   const bool shape = range_at_1pct[0] > range_at_1pct[1] && range_at_1pct[1] >= 3.0;
   std::printf("shape check: lower rate reaches further, both reach metres: %s\n",
               shape ? "yes" : "NO");

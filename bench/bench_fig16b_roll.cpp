@@ -14,6 +14,7 @@ int main() {
   rt::bench::print_header("Fig. 16b -- BER vs roll angular misalignment",
                           "section 7.2.1, Figure 16b",
                           "BER essentially flat across 0..180deg of roll");
+  rt::bench::BenchReport report("fig16b_roll");
 
   const auto params = rt::phy::PhyParams::rate_8kbps();
   const auto tag = rt::bench::realistic_tag(params);
@@ -21,23 +22,34 @@ int main() {
   const std::vector<double> rolls = {0.0, 22.5, 45.0, 67.5, 90.0, 135.0, 180.0};
   const std::vector<double> distances = {6.0, 8.5};
 
-  std::printf("\n%-10s", "roll(deg)");
-  for (const double r : rolls) std::printf("%12.1f", r);
-  std::printf("\n");
-
-  bool flat = true;
+  std::vector<rt::runtime::SweepPoint> points;
   for (const double d : distances) {
-    std::printf("d=%-6.1fm ", d);
-    std::vector<double> bers;
     for (const double roll : rolls) {
       rt::sim::ChannelConfig ch;
       ch.pose.distance_m = d;
       ch.pose.roll_rad = rt::deg_to_rad(roll);
       ch.noise_seed = static_cast<std::uint64_t>(roll * 10 + d);
-      const auto stats = rt::bench::run_point(params, tag, ch, offline);
+      points.push_back(rt::bench::make_point(params, tag, ch, offline));
+    }
+  }
+  const auto sweep = rt::bench::run_points(points);
+  report.add_sweep(sweep);
+
+  std::printf("\n%-10s", "roll(deg)");
+  for (const double r : rolls) std::printf("%12.1f", r);
+  std::printf("\n");
+
+  bool flat = true;
+  for (std::size_t di = 0; di < distances.size(); ++di) {
+    std::printf("d=%-6.1fm ", distances[di]);
+    char series[32];
+    std::snprintf(series, sizeof(series), "d=%.1fm", distances[di]);
+    std::vector<double> bers;
+    for (std::size_t ri = 0; ri < rolls.size(); ++ri) {
+      const auto& stats = sweep.stats[di * rolls.size() + ri];
       bers.push_back(stats.ber());
+      report.add_point(series, rolls[ri], stats);
       std::printf("%12s", rt::bench::ber_str(stats).c_str());
-      std::fflush(stdout);
     }
     std::printf("\n");
     // Flatness: no roll angle catastrophically worse than roll 0.
@@ -46,6 +58,7 @@ int main() {
   }
 
   std::printf("\npaper: influence of roll is almost negligible at both distances\n");
+  report.write();
   std::printf("shape check: BER flat in roll (no angle >10x the roll-0 BER): %s\n",
               flat ? "yes" : "NO");
   return flat ? 0 : 1;

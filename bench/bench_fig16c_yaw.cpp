@@ -10,35 +10,50 @@
 
 #include "bench/bench_util.h"
 
-namespace {
-
-/// Training-disabled ablation: templates measured once facing squarely
-/// (yaw 0) and never adapted -- what a training-free receiver would use.
-rt::sim::LinkStats run_without_training(const rt::phy::PhyParams& params,
-                                        const rt::lcm::TagConfig& tag,
-                                        const rt::sim::ChannelConfig& ch,
-                                        const rt::phy::OfflineModel& offline) {
-  rt::sim::SimOptions so;
-  so.shared_offline_model = offline;
-  so.oracle_templates = true;
-  so.oracle_pose = rt::sim::Pose{ch.pose.distance_m, 0.0, 0.0};  // stale yaw-0 references
-  rt::sim::LinkSimulator simulator(params, tag, ch, so);
-  return simulator.run(rt::bench::packets_per_point(), rt::bench::payload_bytes());
-}
-
-}  // namespace
-
 int main() {
   rt::bench::print_header("Fig. 16c -- BER vs yaw angular misalignment",
                           "section 7.2.1, Figure 16c",
                           "reliable to ~+-40deg with channel training, failing by ~55-60deg");
+  rt::bench::BenchReport report("fig16c_yaw");
 
   const auto params = rt::phy::PhyParams::rate_8kbps();
   const auto tag = rt::bench::realistic_tag(params);
   // Offline bases span orientations, as the paper's offline stage does.
   const auto offline = rt::sim::train_offline_model(params, tag, {0.0, 25.0, 45.0});
+  const auto offline_zero_only = rt::sim::train_offline_model(params, tag, {0.0});
   const std::vector<double> yaws = {0.0, 10.0, 20.0, 30.0, 40.0, 50.0, 55.0, 60.0};
   const double distance = 3.5;  // inside the working range so yaw is the limiter
+  const int seeds = 3;  // aggregate several noise/payload realizations per
+                        // point: single 10-packet runs carry +-0.4%
+                        // sampling noise, too coarse against the 1% bar
+
+  // Both series of the figure go through one engine fan-out: first the
+  // trained points (seeds x yaws), then the training-disabled ablation
+  // (templates measured once facing squarely at yaw 0, never adapted --
+  // what a training-free receiver would use).
+  std::vector<rt::runtime::SweepPoint> points;
+  for (const double y : yaws) {
+    for (int s = 0; s < seeds; ++s) {
+      rt::sim::ChannelConfig ch;
+      ch.pose.distance_m = distance;
+      ch.pose.yaw_rad = rt::deg_to_rad(y);
+      ch.noise_seed = static_cast<std::uint64_t>(y) + 7 + static_cast<std::uint64_t>(s) * 131;
+      points.push_back(rt::bench::make_point(params, tag, ch, offline, 1 + s));
+    }
+  }
+  const std::size_t ablation_begin = points.size();
+  for (const double y : yaws) {
+    rt::sim::ChannelConfig ch;
+    ch.pose.distance_m = distance;
+    ch.pose.yaw_rad = rt::deg_to_rad(y);
+    ch.noise_seed = static_cast<std::uint64_t>(y) + 7;
+    auto p = rt::bench::make_point(params, tag, ch, offline_zero_only);
+    p.sim.oracle_templates = true;
+    p.sim.oracle_pose = rt::sim::Pose{distance, 0.0, 0.0};  // stale yaw-0 references
+    points.push_back(p);
+  }
+  const auto sweep = rt::bench::run_points(points);
+  report.add_sweep(sweep);
 
   std::printf("\n%-22s", "yaw (deg)");
   for (const double y : yaws) std::printf("%12.0f", y);
@@ -51,42 +66,22 @@ int main() {
 
   std::vector<double> trained_ber;
   std::printf("%-22s", "with training");
-  for (const double y : yaws) {
-    // Aggregate several noise/payload realizations: single 10-packet runs
-    // carry +-0.4% sampling noise, too coarse against the 1% bar.
-    std::size_t errors = 0;
-    std::size_t bits = 0;
-    for (int s = 0; s < 3; ++s) {
-      rt::sim::ChannelConfig ch;
-      ch.pose.distance_m = distance;
-      ch.pose.yaw_rad = rt::deg_to_rad(y);
-      ch.noise_seed = static_cast<std::uint64_t>(y) + 7 + s * 131;
-      const auto stats = rt::bench::run_point(params, tag, ch, offline, 1 + s);
-      errors += stats.bit_errors;
-      bits += stats.total_bits;
-    }
-    const double ber = static_cast<double>(errors) / static_cast<double>(bits);
-    trained_ber.push_back(ber);
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), errors == 0 ? "<%.4f%%" : "%.4f%%",
-                  errors == 0 ? 100.0 / static_cast<double>(bits) : 100.0 * ber);
-    std::printf("%12s", buf);
-    std::fflush(stdout);
+  for (std::size_t yi = 0; yi < yaws.size(); ++yi) {
+    rt::sim::LinkStats merged;
+    for (int s = 0; s < seeds; ++s) merged.merge(sweep.stats[yi * seeds + s]);
+    trained_ber.push_back(merged.ber());
+    report.add_point("with training", yaws[yi], merged);
+    std::printf("%12s", rt::bench::ber_str(merged).c_str());
   }
   std::printf("\n");
 
   std::printf("%-22s", "no online training");
   std::vector<double> untrained_ber;
-  const auto offline_zero_only = rt::sim::train_offline_model(params, tag, {0.0});
-  for (const double y : yaws) {
-    rt::sim::ChannelConfig ch;
-    ch.pose.distance_m = distance;
-    ch.pose.yaw_rad = rt::deg_to_rad(y);
-    ch.noise_seed = static_cast<std::uint64_t>(y) + 7;
-    const auto stats = run_without_training(params, tag, ch, offline_zero_only);
+  for (std::size_t yi = 0; yi < yaws.size(); ++yi) {
+    const auto& stats = sweep.stats[ablation_begin + yi];
     untrained_ber.push_back(stats.ber());
+    report.add_point("no online training", yaws[yi], stats);
     std::printf("%12s", rt::bench::ber_str(stats).c_str());
-    std::fflush(stdout);
   }
   std::printf("\n");
 
@@ -101,6 +96,9 @@ int main() {
     untrained_mid += untrained_ber[i];
   }
   const bool ablation = untrained_mid >= trained_mid;
+  report.add_scalar("trained_ber_40deg", trained_ber[4]);
+  report.add_scalar("trained_ber_60deg", trained_ber.back());
+  report.write();
   std::printf("shape check: reliable at 40deg: %s; degrades by 60deg: %s; "
               "training helps at moderate yaw: %s\n",
               reliable_40 ? "yes" : "NO", fails_60 ? "yes" : "NO", ablation ? "yes" : "NO");

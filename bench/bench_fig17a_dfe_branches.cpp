@@ -14,6 +14,7 @@ int main() {
   rt::bench::print_header("Fig. 17a -- DFE branch count vs BER across distance",
                           "section 7.2.2, Figure 17a",
                           "1-branch worst; 16-branch nearly matches the Viterbi reference");
+  rt::bench::BenchReport report("fig17a_dfe_branches");
 
   // The default 8 Kbps configuration (16-PQAM): dense constellations are
   // where greedy single-branch decisions go wrong and extra branches pay.
@@ -31,6 +32,26 @@ int main() {
   const auto tag = rt::bench::realistic_tag(base);
   const auto offline = rt::sim::train_offline_model(base, tag);
 
+  // The offline model only depends on the tag, not the equalizer, so all
+  // four equalizer variants share it and the whole grid (cases x
+  // distances x seeds) is one engine fan-out.
+  std::vector<rt::runtime::SweepPoint> points;
+  for (const auto& c : cases) {
+    auto params = base;
+    params.equalizer_branches = c.branches;
+    params.merge_equalizer_states = c.merge;
+    for (const double d : distances) {
+      for (int s = 0; s < seeds; ++s) {
+        rt::sim::ChannelConfig ch;
+        ch.pose.distance_m = d;
+        ch.noise_seed = static_cast<std::uint64_t>(d * 7) + static_cast<std::uint64_t>(s);
+        points.push_back(rt::bench::make_point(params, tag, ch, offline, 5 + s));
+      }
+    }
+  }
+  const auto sweep = rt::bench::run_points(points);
+  report.add_sweep(sweep);
+
   std::printf("\n%-10s", "d (m)");
   for (const double d : distances) std::printf("%12.1f", d);
   std::printf("\n");
@@ -38,29 +59,16 @@ int main() {
   std::vector<std::vector<double>> ber(cases.size());
   std::vector<double> range(cases.size(), 0.0);
   for (std::size_t ci = 0; ci < cases.size(); ++ci) {
-    auto params = base;
-    params.equalizer_branches = cases[ci].branches;
-    params.merge_equalizer_states = cases[ci].merge;
     std::printf("%-10s", cases[ci].name);
-    for (const double d : distances) {
-      std::size_t errors = 0;
-      std::size_t bits = 0;
-      for (int s = 0; s < seeds; ++s) {
-        rt::sim::ChannelConfig ch;
-        ch.pose.distance_m = d;
-        ch.noise_seed = static_cast<std::uint64_t>(d * 7) + s;
-        const auto stats = rt::bench::run_point(params, tag, ch, offline, 5 + s);
-        errors += stats.bit_errors;
-        bits += stats.total_bits;
-      }
-      const double b = static_cast<double>(errors) / static_cast<double>(bits);
+    for (std::size_t di = 0; di < distances.size(); ++di) {
+      rt::sim::LinkStats merged;
+      for (int s = 0; s < seeds; ++s)
+        merged.merge(sweep.stats[(ci * distances.size() + di) * seeds + s]);
+      const double b = merged.ber();
       ber[ci].push_back(b);
-      if (b < 0.01) range[ci] = d;
-      char buf[32];
-      std::snprintf(buf, sizeof(buf), errors == 0 ? "<%.4f%%" : "%.4f%%",
-                    errors == 0 ? 100.0 / static_cast<double>(bits) : 100.0 * b);
-      std::printf("%12s", buf);
-      std::fflush(stdout);
+      if (b < 0.01) range[ci] = distances[di];
+      report.add_point(cases[ci].name, distances[di], merged);
+      std::printf("%12s", rt::bench::ber_str(merged).c_str());
     }
     std::printf("\n");
   }
@@ -79,6 +87,9 @@ int main() {
   }
   const bool order = sum1 >= sum16 - 1e-9 && sum16 >= sumv - 1e-6;
   const bool near_optimal = sum16 <= std::max(2.0 * sumv, sumv + 0.005);
+  for (std::size_t ci = 0; ci < cases.size(); ++ci)
+    report.add_scalar(std::string("range_m_") + cases[ci].name, range[ci]);
+  report.write();
   std::printf("shape check: BER(K=1) >= BER(K=16) >= BER(Viterbi): %s; "
               "16-branch near-optimal: %s\n",
               order ? "yes" : "NO", near_optimal ? "yes" : "NO");

@@ -13,10 +13,29 @@ int main() {
   rt::bench::print_header("Fig. 17b -- training memory V vs BER",
                           "section 7.2.2, Figure 17b",
                           "V=1 hits an error floor; V=2 close to V=3");
+  rt::bench::BenchReport report("fig17b_training_v");
 
   const auto base = rt::phy::PhyParams::rate_8kbps();
   const std::vector<int> vs = {1, 2, 3};
   const std::vector<double> distances = {3.0, 5.0, 6.5};
+
+  // The offline model depends on V here, so each V trains its own model
+  // (still shared across its distances).
+  std::vector<rt::runtime::SweepPoint> points;
+  for (std::size_t vi = 0; vi < vs.size(); ++vi) {
+    auto params = base;
+    params.training_memory = vs[vi];
+    const auto tag = rt::bench::realistic_tag(params);
+    const auto offline = rt::sim::train_offline_model(params, tag);
+    for (std::size_t di = 0; di < distances.size(); ++di) {
+      rt::sim::ChannelConfig ch;
+      ch.pose.distance_m = distances[di];
+      ch.noise_seed = 17 + vi * 10 + di;
+      points.push_back(rt::bench::make_point(params, tag, ch, offline));
+    }
+  }
+  const auto sweep = rt::bench::run_points(points);
+  report.add_sweep(sweep);
 
   std::printf("\n%-16s", "d (m)");
   for (const double d : distances) std::printf("%14.1f", d);
@@ -24,19 +43,14 @@ int main() {
 
   std::vector<double> floor_ber(vs.size());
   for (std::size_t vi = 0; vi < vs.size(); ++vi) {
-    auto params = base;
-    params.training_memory = vs[vi];
-    const auto tag = rt::bench::realistic_tag(params);
-    const auto offline = rt::sim::train_offline_model(params, tag);
     std::printf("V=%-14d", vs[vi]);
+    char series[16];
+    std::snprintf(series, sizeof(series), "V=%d", vs[vi]);
     for (std::size_t di = 0; di < distances.size(); ++di) {
-      rt::sim::ChannelConfig ch;
-      ch.pose.distance_m = distances[di];
-      ch.noise_seed = 17 + vi * 10 + di;
-      const auto stats = rt::bench::run_point(params, tag, ch, offline);
+      const auto& stats = sweep.stats[vi * distances.size() + di];
       if (di == 0) floor_ber[vi] = stats.ber();  // ample-SNR point: the floor
+      report.add_point(series, distances[di], stats);
       std::printf("%14s", rt::bench::ber_str(stats).c_str());
-      std::fflush(stdout);
     }
     // Offline fingerprint collection cost ~ 2^(V+1) cycles per module.
     std::printf("%13d x\n", 1 << (vs[vi] + 1));
@@ -46,6 +60,9 @@ int main() {
               "at half the training time\n");
   const bool v1_floor = floor_ber[0] > floor_ber[1] + 1e-6;
   const bool v2_close = floor_ber[1] <= floor_ber[2] + 0.005;
+  for (std::size_t vi = 0; vi < vs.size(); ++vi)
+    report.add_scalar("floor_ber_v" + std::to_string(vs[vi]), floor_ber[vi]);
+  report.write();
   std::printf("shape check: V=1 shows a floor above V=2: %s; V=2 ~= V=3: %s\n",
               v1_floor ? "yes" : "NO", v2_close ? "yes" : "NO");
   return (v1_floor && v2_close) ? 0 : 1;

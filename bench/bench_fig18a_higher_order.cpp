@@ -15,6 +15,7 @@ int main() {
   rt::bench::print_header("Fig. 18a -- BER vs SNR for 1..32 Kbps (emulation)",
                           "section 7.3, Figure 18a",
                           "waterfalls ordered by rate; 32 Kbps needs dramatically more SNR");
+  rt::bench::BenchReport report("fig18a_higher_order");
 
   struct RateCase {
     const char* name;
@@ -29,38 +30,50 @@ int main() {
   };
   const std::vector<double> snrs = {-5, 0, 5, 10, 15, 20, 25, 30, 35, 40, 45, 50, 55};
 
+  std::vector<rt::runtime::SweepPoint> points;
+  for (std::size_t ci = 0; ci < cases.size(); ++ci) {
+    const auto& rc = cases[ci];
+    const auto tag = rt::bench::realistic_tag(rc.params);
+    const auto offline = rt::sim::train_offline_model(rc.params, tag);
+    for (const double snr : snrs) {
+      rt::sim::ChannelConfig ch;
+      ch.snr_override_db = snr;
+      ch.noise_seed = static_cast<std::uint64_t>(snr + 50) * 13 + ci;
+      points.push_back(rt::bench::make_point(rc.params, tag, ch, offline, 31 + ci));
+    }
+  }
+  const auto sweep = rt::bench::run_points(points);
+  report.add_sweep(sweep);
+
   std::printf("\n%-9s", "SNR(dB)");
   for (const double s : snrs) std::printf("%10.0f", s);
   std::printf("\n");
 
   std::vector<double> snr_at_1pct(cases.size(), 999.0);
   for (std::size_t ci = 0; ci < cases.size(); ++ci) {
-    const auto& rc = cases[ci];
-    const auto tag = rt::bench::realistic_tag(rc.params);
-    const auto offline = rt::sim::train_offline_model(rc.params, tag);
-    std::printf("%-9s", rc.name);
-    for (const double snr : snrs) {
-      rt::sim::ChannelConfig ch;
-      ch.snr_override_db = snr;
-      ch.noise_seed = static_cast<std::uint64_t>(snr + 50) * 13 + ci;
-      const auto stats = rt::bench::run_point(rc.params, tag, ch, offline, 31 + ci);
-      if (stats.ber() < 0.01 && snr < snr_at_1pct[ci]) snr_at_1pct[ci] = snr;
+    std::printf("%-9s", cases[ci].name);
+    for (std::size_t si = 0; si < snrs.size(); ++si) {
+      const auto& stats = sweep.stats[ci * snrs.size() + si];
+      if (stats.ber() < 0.01 && snrs[si] < snr_at_1pct[ci]) snr_at_1pct[ci] = snrs[si];
+      report.add_point(cases[ci].name, snrs[si], stats);
       std::printf("%10s", rt::bench::ber_str(stats).c_str());
-      std::fflush(stdout);
     }
     std::printf("\n");
   }
 
   std::printf("\nSNR at first <1%% BER point: ");
-  for (std::size_t ci = 0; ci < cases.size(); ++ci)
+  for (std::size_t ci = 0; ci < cases.size(); ++ci) {
     std::printf("%s %.0f dB%s", cases[ci].name, snr_at_1pct[ci],
                 ci + 1 < cases.size() ? ", " : "\n");
+    report.add_scalar(std::string("snr_at_1pct_db_") + cases[ci].name, snr_at_1pct[ci]);
+  }
   std::printf("paper thresholds: 1k ~ -5 dB, 4k ~ 20 dB, 8k ~ 28 dB, 16k ~ 33 dB, 32k ~ 55 dB\n");
 
   bool ordered = true;
   for (std::size_t i = 1; i < cases.size(); ++i)
     ordered = ordered && snr_at_1pct[i] >= snr_at_1pct[i - 1];
   const bool all_reach = snr_at_1pct.back() < 999.0;
+  report.write();
   std::printf("shape check: thresholds ordered by rate: %s; every rate reaches <1%%: %s\n",
               ordered ? "yes" : "NO", all_reach ? "yes" : "NO");
   return (ordered && all_reach) ? 0 : 1;

@@ -20,6 +20,7 @@ int main() {
   rt::bench::print_header("Fig. 18b -- goodput vs SNR with RS coding + stop-and-wait",
                           "section 7.3, Figure 18b",
                           "coded 32k dominates mid-SNR; costs only (n-k)/n at high SNR");
+  rt::bench::BenchReport report("fig18b_coding_gain");
 
   // Measure raw BER curves for the two rates through the real stack.
   struct RateCurve {
@@ -31,20 +32,30 @@ int main() {
                                    {"32kbps", rt::phy::PhyParams::rate_32kbps(), {}}};
   const std::vector<double> measure_snrs = {25, 30, 35, 40, 45, 50, 55, 60};
 
+  std::printf("measuring raw BER curves (%zu points)...\n",
+              curves.size() * measure_snrs.size());
+  std::vector<rt::runtime::SweepPoint> points;
   for (auto& c : curves) {
     const auto tag = rt::bench::realistic_tag(c.params);
     const auto offline = rt::sim::train_offline_model(c.params, tag);
-    std::printf("measuring %s raw BER curve...\n", c.name);
     for (const double snr : measure_snrs) {
       rt::sim::ChannelConfig ch;
       ch.snr_override_db = snr;
       ch.noise_seed = static_cast<std::uint64_t>(snr * 3);
-      const auto stats = rt::bench::run_point(c.params, tag, ch, offline);
+      points.push_back(rt::bench::make_point(c.params, tag, ch, offline));
+    }
+  }
+  const auto sweep = rt::bench::run_points(points);
+  report.add_sweep(sweep);
+  for (std::size_t ci = 0; ci < curves.size(); ++ci) {
+    for (std::size_t si = 0; si < measure_snrs.size(); ++si) {
+      const auto& stats = sweep.stats[ci * measure_snrs.size() + si];
       // An error-free measurement is recorded as (effectively) zero: a
       // conservative 1/(2N) floor would fabricate ~20% phantom packet loss
       // on 1024-bit frames and distort every goodput ratio.
       const double ber = stats.bit_errors == 0 ? 1e-9 : stats.ber();
-      c.snr_ber.push_back({snr, ber});
+      curves[ci].snr_ber.push_back({measure_snrs[si], ber});
+      report.add_point(std::string(curves[ci].name) + " raw", measure_snrs[si], stats);
     }
   }
 
@@ -81,6 +92,7 @@ int main() {
     for (const double s : snrs) {
       const double gp = model.goodput_bps(o, s, payload);
       g[oi].push_back(gp);
+      report.add_value(std::string("goodput_kbps ") + label, s, gp / 1000.0);
       std::printf("%8.1f", gp / 1000.0);
     }
     std::printf("\n");
@@ -109,6 +121,10 @@ int main() {
               high_ratio);
   std::printf("heavier RS(255,127) alone healthy at %d low-SNR points (wider working range)\n",
               heavy_only);
+  report.add_scalar("coded_win_span", coded_win_span);
+  report.add_scalar("high_snr_ratio_rs251", high_ratio);
+  report.add_scalar("heavy_only_points", heavy_only);
+  report.write();
   // The ratio approaches (n-k)/n = 0.984 as both links saturate; a small
   // residual error floor at the bench's packet budget can leave the coded
   // link slightly ahead, so accept a band around the ideal value.

@@ -6,6 +6,10 @@
 // worst tag needs. Mean throughput gain grows from ~1.2x at 4 tags to
 // ~3.7x at 100 tags over 100 trials. Expected shape: gain > 1 and growing
 // with the tag count.
+//
+// The study threads one Rng through all trials (each trial's placement
+// draw depends on the previous), so this bench stays serial and only adds
+// the JSON report.
 #include <cstdio>
 #include <vector>
 
@@ -16,6 +20,7 @@ int main() {
   rt::bench::print_header("Fig. 18c -- rate-adaptive MAC throughput gain vs tag count",
                           "section 7.3, Figure 18c",
                           "gain ~1.2x at 4 tags rising toward ~3.7x at 100 tags");
+  rt::bench::BenchReport report("fig18c_rate_adaptation");
 
   const auto table = rt::mac::RateTable::paper_default();
   const rt::mac::GoodputModel model;
@@ -30,6 +35,9 @@ int main() {
   for (const int n : tag_counts) {
     const auto r = rt::mac::rate_adaptation_study(n, table, model, cfg, rng);
     gains.push_back(r.gain());
+    report.add_value("adaptive_bps", n, r.mean_adaptive_bps);
+    report.add_value("baseline_bps", n, r.mean_baseline_bps);
+    report.add_value("gain", n, r.gain());
     std::printf("%-8d %-16.2f %-16.2f %-8.2f %-12.1f\n", n, r.mean_adaptive_bps / 1000.0,
                 r.mean_baseline_bps / 1000.0, r.gain(), r.mean_discovery_rounds);
   }
@@ -40,6 +48,9 @@ int main() {
   bool growing = true;
   for (std::size_t i = 2; i < gains.size(); ++i) growing = growing && gains[i] >= gains[i - 1] - 0.15;
   const bool ok = gain4 > 1.0 && gain100 > 2.0 && gain100 > gain4 && growing;
+  report.add_scalar("gain_4_tags", gain4);
+  report.add_scalar("gain_100_tags", gain100);
+  report.write();
   std::printf("shape check: gain(4)=%.2f > 1, gain(100)=%.2f >> gain(4), growing: %s\n", gain4,
               gain100, ok ? "yes" : "NO");
   return ok ? 0 : 1;

@@ -16,6 +16,7 @@ int main() {
   rt::bench::print_header("Headline -- rate gain over OOK/PAM baselines",
                           "abstract + sections 1, 7.4",
                           "~32x experimental and ~128x emulated gain over OOK, all links reliable");
+  rt::bench::BenchReport report("headline_rate_gain");
 
   struct SchemeCase {
     const char* name;
@@ -41,22 +42,30 @@ int main() {
       {"DSM-PQAM 32 kbps (emu)", rt::phy::PhyParams::rate_32kbps(), 60.0},
   };
 
-  std::printf("\n%-26s %-12s %-12s %-10s\n", "scheme", "rate (bps)", "BER", "gain vs OOK");
-  std::vector<double> rates;
-  bool all_reliable = true;
+  std::vector<rt::runtime::SweepPoint> points;
   for (const auto& sc : cases) {
     const auto tag = rt::bench::realistic_tag(sc.params);
     const auto offline = rt::sim::train_offline_model(sc.params, tag);
     rt::sim::ChannelConfig ch;
     ch.snr_override_db = sc.snr_db;
     ch.noise_seed = static_cast<std::uint64_t>(sc.snr_db);
-    const auto stats = rt::bench::run_point(sc.params, tag, ch, offline);
+    points.push_back(rt::bench::make_point(sc.params, tag, ch, offline));
+  }
+  const auto sweep = rt::bench::run_points(points);
+  report.add_sweep(sweep);
+
+  std::printf("\n%-26s %-12s %-12s %-10s\n", "scheme", "rate (bps)", "BER", "gain vs OOK");
+  std::vector<double> rates;
+  bool all_reliable = true;
+  for (std::size_t ci = 0; ci < cases.size(); ++ci) {
+    const auto& sc = cases[ci];
+    const auto& stats = sweep.stats[ci];
     const double rate = sc.params.data_rate_bps();
     rates.push_back(rate);
     all_reliable = all_reliable && stats.ber() < 0.01;
+    report.add_point(sc.name, rate, stats);
     std::printf("%-26s %-12.0f %-12s %-10.1fx\n", sc.name, rate,
                 rt::bench::ber_str(stats).c_str(), rate / rates.front());
-    std::fflush(stdout);
   }
 
   // Basic vs overlapped DSM (section 4.1.1 vs 4.1.2): with L=8, P=16,
@@ -71,6 +80,10 @@ int main() {
   const double emu_gain = rates[3] / rates[0];
   std::printf("\npaper: 32x experimental, 128x emulated gain over the OOK baseline\n");
   std::printf("measured: %.0fx experimental, %.0fx emulated\n", exp_gain, emu_gain);
+  report.add_scalar("exp_gain", exp_gain);
+  report.add_scalar("emu_gain", emu_gain);
+  report.add_scalar("overlap_gain", p8.data_rate_bps() / basic_rate);
+  report.write();
   const bool ok = all_reliable && exp_gain >= 31.0 && emu_gain >= 127.0;
   std::printf("shape check: all links reliable and gains match: %s\n", ok ? "yes" : "NO");
   return ok ? 0 : 1;

@@ -14,6 +14,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_util.h"
 #include "common/rng.h"
 #include "lcm/tag_array.h"
 #include "phy/demodulator.h"
@@ -122,6 +123,7 @@ BENCHMARK(BM_EqualizerBranches)->Arg(1)->Arg(4)->Arg(16);
 
 int main(int argc, char** argv) {
   std::printf("=== section 7.2.2 microbenchmarks: latency & power ===\n\n");
+  rt::bench::BenchReport report("micro_latency_power");
 
   // Air-time latency budget (structural, from the frame layout).
   for (const auto& [name, p] :
@@ -131,6 +133,11 @@ int main(int argc, char** argv) {
     rt::Rng rng(1);
     const auto pkt = mod.modulate(rng.bits(128 * 8));
     const double slot_ms = p.slot_s * 1e3;
+    const double rate_kbps = p.data_rate_bps() / 1000.0;
+    report.add_value("preamble_air_ms", rate_kbps, p.preamble_slots * slot_ms);
+    report.add_value("training_air_ms", rate_kbps, pkt.layout.training_slots() * slot_ms);
+    report.add_value("payload_air_ms", rate_kbps, pkt.layout.payload_slots * slot_ms);
+    report.add_value("total_air_ms", rate_kbps, pkt.duration_s * 1e3);
     std::printf("%s 128 B packet: preamble %.0f ms, training %.0f ms, payload %.0f ms, "
                 "total %.0f ms (paper: 258 / 386 ms total)\n",
                 name, p.preamble_slots * slot_ms,
@@ -156,10 +163,16 @@ int main(int argc, char** argv) {
     };
     const double e8 = energy_rate(p8);
     const double e4 = energy_rate(p4);
+    report.add_scalar("drive_energy_rate_8kbps", e8);
+    report.add_scalar("drive_energy_rate_4kbps", e4);
+    report.add_scalar("drive_energy_ratio", e8 / e4);
     std::printf("\ntag drive-energy rate: 8kbps %.3f, 4kbps %.3f (ratio %.2f; paper: equal "
                 "0.8 mW at both rates)\n\n",
                 e8, e4, e8 / e4);
   }
+  // Written before the timed loops so the structural results land even if
+  // the google-benchmark pass is interrupted.
+  report.write();
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

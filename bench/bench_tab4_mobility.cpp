@@ -14,6 +14,7 @@ int main() {
   rt::bench::print_header("Tab. 4 -- BER with ambient human mobility",
                           "section 7.2.1, Table 4",
                           "all mobility cases comparable to the no-human baseline, BER < 1%");
+  rt::bench::BenchReport report("tab4_mobility");
 
   const auto params = rt::phy::PhyParams::rate_8kbps();
   const auto tag = rt::bench::realistic_tag(params);
@@ -26,22 +27,30 @@ int main() {
       rt::sim::MobilityScenario::three_people_around_los(),
   };
 
-  std::printf("\n%-34s %-12s\n", "Test case", "BER");
-  std::vector<double> bers;
+  std::vector<rt::runtime::SweepPoint> points;
   for (std::size_t i = 0; i < cases.size(); ++i) {
     rt::sim::ChannelConfig ch;
     ch.pose.distance_m = 6.0;
     ch.mobility = cases[i];
     ch.noise_seed = 40 + i;
-    const auto stats = rt::bench::run_point(params, tag, ch, offline, 100 + i);
+    points.push_back(rt::bench::make_point(params, tag, ch, offline, 100 + i));
+  }
+  const auto sweep = rt::bench::run_points(points);
+  report.add_sweep(sweep);
+
+  std::printf("\n%-34s %-12s\n", "Test case", "BER");
+  std::vector<double> bers;
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const auto& stats = sweep.stats[i];
     bers.push_back(stats.ber());
+    report.add_point(cases[i].name, static_cast<double>(i), stats);
     std::printf("%-34s %-12s\n", cases[i].name.c_str(), rt::bench::ber_str(stats).c_str());
-    std::fflush(stdout);
   }
 
   std::printf("\npaper: 0.25 / 0.25 / 0.11 / 0.29 / 0.17 %% -- all below 0.3%%\n");
   bool ok = true;
   for (const double b : bers) ok = ok && b < 0.01;
+  report.write();
   std::printf("shape check: every case below the 1%% reliability bar: %s\n", ok ? "yes" : "NO");
   return ok ? 0 : 1;
 }

@@ -13,6 +13,29 @@
 
 namespace rt {
 
+/// SplitMix64 finalizer: bijective avalanche mix of a 64-bit word.
+[[nodiscard]] constexpr std::uint64_t mix_seed(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Counter-based stream split: the seed of sub-stream (a, b) of `base`.
+///
+/// A pure function of its inputs, so any task in a parallel run can
+/// reconstruct its RNG stream from indices alone -- no shared engine to
+/// advance, hence no ordering or thread-count dependence. This is the
+/// foundation of the deterministic parallel sweep engine (src/runtime):
+/// packet p of BER point i draws from split_seed(point_seed, p, stream).
+[[nodiscard]] constexpr std::uint64_t split_seed(std::uint64_t base, std::uint64_t a,
+                                                 std::uint64_t b = 0) {
+  std::uint64_t h = mix_seed(base);
+  h = mix_seed(h ^ mix_seed(a ^ 0xa5a5a5a5a5a5a5a5ULL));
+  h = mix_seed(h ^ mix_seed(b ^ 0xc3c3c3c3c3c3c3c3ULL));
+  return h;
+}
+
 /// Thin wrapper over a 64-bit Mersenne Twister with convenience draws.
 class Rng {
  public:

@@ -1,0 +1,81 @@
+#include "runtime/sweep.h"
+
+#include <chrono>
+#include <memory>
+
+namespace rt::runtime {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+}  // namespace
+
+SweepResult parallel_sweep(std::span<const SweepPoint> points, const SweepOptions& options) {
+  ThreadPool pool(options.threads == 0 ? sweep_threads() : options.threads);
+  return parallel_sweep(points, options, pool);
+}
+
+SweepResult parallel_sweep(std::span<const SweepPoint> points, const SweepOptions& options,
+                           ThreadPool& pool) {
+  RT_ENSURE(options.packets >= 1, "sweeps need at least one packet per point");
+  RT_ENSURE(options.payload_bytes >= 1, "sweeps need at least one payload byte");
+  const auto start = Clock::now();
+
+  SweepResult result;
+  result.threads = pool.size();
+  if (points.empty()) return result;
+
+  // Phase 1: construct one simulator per point, in parallel. Construction
+  // runs the offline training when no shared model is provided, which can
+  // dominate a short sweep.
+  std::vector<std::future<std::shared_ptr<sim::LinkSimulator>>> sim_futures;
+  sim_futures.reserve(points.size());
+  for (const SweepPoint& point : points) {
+    sim_futures.push_back(pool.submit([&point] {
+      return std::make_shared<sim::LinkSimulator>(point.params, point.tag, point.channel,
+                                                  point.sim);
+    }));
+  }
+  std::vector<std::shared_ptr<sim::LinkSimulator>> sims;
+  sims.reserve(points.size());
+  for (auto& f : sim_futures) sims.push_back(f.get());
+
+  // Phase 2: fan per-point packet batches out as flat (point, batch)
+  // tasks. No nesting: tasks never wait on other tasks, so the engine
+  // cannot deadlock regardless of pool size.
+  const int batch = options.batch_packets < 1 ? 1 : options.batch_packets;
+  const std::size_t payload = options.payload_bytes;
+  struct Batch {
+    std::size_t point;
+    std::future<sim::LinkStats> stats;
+  };
+  std::vector<Batch> batches;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (int begin = 0; begin < options.packets; begin += batch) {
+      const int end = std::min(begin + batch, options.packets);
+      auto task = [sim = sims[i], begin, end, payload] {
+        sim::LinkStats stats;
+        for (int p = begin; p < end; ++p) {
+          const auto outcome = sim->run_packet(static_cast<std::uint64_t>(p), payload);
+          ++stats.packets;
+          if (!outcome.preamble_found) ++stats.preamble_failures;
+          stats.bit_errors += outcome.bit_errors;
+          stats.total_bits += outcome.bits;
+        }
+        return stats;
+      };
+      batches.push_back({i, pool.submit(std::move(task))});
+    }
+  }
+
+  // Merge batches. LinkStats::merge is a plain sum, so the merge order is
+  // immaterial -- collecting in submission order keeps the code obvious.
+  result.stats.resize(points.size());
+  for (auto& b : batches) result.stats[b.point].merge(b.stats.get());
+
+  result.wall_s = std::chrono::duration<double>(Clock::now() - start).count();
+  return result;
+}
+
+}  // namespace rt::runtime

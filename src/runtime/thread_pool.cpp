@@ -1,0 +1,50 @@
+// rt-lint: no-preconditions (the ctor floors bad thread counts by design;
+// submit()'s RT_ENSURE lives in the header)
+#include "runtime/thread_pool.h"
+
+#include <cstdlib>
+
+namespace rt::runtime {
+
+unsigned hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1U : n;
+}
+
+unsigned sweep_threads() {
+  const char* v = std::getenv("RT_BENCH_THREADS");
+  if (v == nullptr || *v == '\0') return hardware_threads();
+  const int n = std::atoi(v);
+  return n < 1 ? 1U : narrow_cast<unsigned>(n);
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  const unsigned n = threads == 0 ? 1U : threads;
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and fully drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace rt::runtime

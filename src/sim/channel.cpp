@@ -64,15 +64,20 @@ phy::WaveformSource Channel::noiseless_source() const {
 }
 
 phy::WaveformSource Channel::source() {
+  // The member noise RNG advances across calls so successive packets draw
+  // independent noise (legacy serial path; parallel runs inject their own
+  // per-packet stream via source_with).
+  return source_with(noise_rng_);
+}
+
+phy::WaveformSource Channel::source_with(Rng& noise_rng) const {
   const auto tag_cfg = posed_tag_config(cfg_.pose);
   const auto rot = optics::roll_rotation(cfg_.pose.roll_rad);
   const auto params = params_;
   const auto mobility = cfg_.mobility;
   const double sigma = sigma_;
-  // The noise RNG is shared (by reference through `this`) so successive
-  // packets draw independent noise.
   const auto dynamics = cfg_.dynamics;
-  return [this, tag_cfg, rot, params, mobility, dynamics, sigma](
+  return [&noise_rng, tag_cfg, rot, params, mobility, dynamics, sigma](
              std::span<const lcm::Firing> firings, double duration) {
     lcm::TagArray tag(tag_cfg);
     auto w = tag.synthesize(firings, params.sample_rate_hz, duration);
@@ -85,7 +90,7 @@ phy::WaveformSource Channel::source() {
       }
       w[i] *= g;
     }
-    if (sigma > 0.0) sig::add_noise_sigma(w, sigma, noise_rng_);
+    if (sigma > 0.0) sig::add_noise_sigma(w, sigma, noise_rng);
     return w;
   };
 }

@@ -60,6 +60,13 @@ class Channel {
   /// noise stream advances across calls so packets see independent noise).
   [[nodiscard]] phy::WaveformSource source();
 
+  /// Noisy source drawing from a caller-owned noise stream. `noise_rng`
+  /// is captured by reference and must outlive the returned source. This
+  /// is the thread-safe variant: with per-packet counter-based streams
+  /// (rt::split_seed) concurrent packets never share RNG state, which is
+  /// what makes parallel sweeps bit-identical to serial ones.
+  [[nodiscard]] phy::WaveformSource source_with(Rng& noise_rng) const;
+
   /// Noise-free source at the same pose (offline training / oracle use).
   [[nodiscard]] phy::WaveformSource noiseless_source() const;
 

@@ -59,18 +59,26 @@ LinkSimulator::LinkSimulator(const phy::PhyParams& params, const lcm::TagConfig&
 
 LinkSimulator::PacketOutcome LinkSimulator::send_packet(
     std::span<const std::uint8_t> payload_bits) {
+  // Legacy serial path: padding and noise advance the member RNG streams,
+  // so outcomes depend on call order. Order-independent runs go through
+  // run_packet instead.
+  return transmit(payload_bits, rng_, channel_.source());
+}
+
+LinkSimulator::PacketOutcome LinkSimulator::transmit(std::span<const std::uint8_t> payload_bits,
+                                                     Rng& pad_rng,
+                                                     const phy::WaveformSource& source) const {
   RT_ENSURE(!payload_bits.empty(), "packets need a non-empty payload");
   const auto pkt = modulator_.modulate(payload_bits);
 
   // Random pre-padding: the reader does not know when the packet starts.
   const int pad_slots =
-      opts_.max_pad_slots > 0 ? narrow_cast<int>(rng_.uniform_int(0, opts_.max_pad_slots)) : 0;
+      opts_.max_pad_slots > 0 ? narrow_cast<int>(pad_rng.uniform_int(0, opts_.max_pad_slots)) : 0;
   std::vector<lcm::Firing> shifted(pkt.firings.begin(), pkt.firings.end());
   const double pad_s = pad_slots * params_.slot_s;
   for (auto& f : shifted) f.time_s += pad_s;
   const double duration = pad_s + pkt.duration_s + params_.symbol_duration_s();
 
-  auto source = channel_.source();
   const auto rx = source(shifted, duration);
 
   phy::DemodOptions dopts;
@@ -93,13 +101,33 @@ LinkSimulator::PacketOutcome LinkSimulator::send_packet(
   return out;
 }
 
-LinkStats LinkSimulator::run(int packets, std::size_t payload_bytes) {
-  RT_ENSURE(packets >= 1, "need at least one packet");
+namespace {
+
+// Sub-stream tags for run_packet's split_seed derivations. Payload and
+// padding split off the simulation seed, noise splits off the channel's
+// noise seed, preserving the seed structure the benches already use
+// (same payloads across points, independent noise per point).
+constexpr std::uint64_t kPayloadStream = 0;
+constexpr std::uint64_t kPadStream = 1;
+constexpr std::uint64_t kNoiseStream = 2;
+
+}  // namespace
+
+LinkSimulator::PacketOutcome LinkSimulator::run_packet(std::uint64_t packet_index,
+                                                       std::size_t payload_bytes) const {
   RT_ENSURE(payload_bytes >= 1, "need at least one payload byte");
+  Rng payload_rng(split_seed(opts_.seed, packet_index, kPayloadStream));
+  Rng pad_rng(split_seed(opts_.seed, packet_index, kPadStream));
+  Rng noise_rng(split_seed(channel_.config().noise_seed, packet_index, kNoiseStream));
+  const auto payload = payload_rng.bits(payload_bytes * 8);
+  return transmit(payload, pad_rng, channel_.source_with(noise_rng));
+}
+
+LinkStats LinkSimulator::run(int packets, std::size_t payload_bytes) const {
+  RT_ENSURE(packets >= 1, "need at least one packet");
   LinkStats stats;
   for (int p = 0; p < packets; ++p) {
-    const auto payload = rng_.bits(payload_bytes * 8);
-    const auto outcome = send_packet(payload);
+    const auto outcome = run_packet(static_cast<std::uint64_t>(p), payload_bytes);
     ++stats.packets;
     if (!outcome.preamble_found) ++stats.preamble_failures;
     stats.bit_errors += outcome.bit_errors;

@@ -46,6 +46,18 @@ struct LinkStats {
   [[nodiscard]] double packet_loss() const {
     return packets == 0 ? 0.0 : static_cast<double>(preamble_failures) / packets;
   }
+
+  /// Accumulates another batch. All fields are plain sums, so merging is
+  /// associative and commutative: any partition of a packet set merges to
+  /// the same stats, which lets the parallel sweep engine aggregate
+  /// batches in any order.
+  LinkStats& merge(const LinkStats& other) {
+    packets += other.packets;
+    preamble_failures += other.preamble_failures;
+    bit_errors += other.bit_errors;
+    total_bits += other.total_bits;
+    return *this;
+  }
 };
 
 /// Performs the one-time offline training for a (PHY, tag) pair so sweeps
@@ -69,14 +81,29 @@ class LinkSimulator {
   };
   [[nodiscard]] PacketOutcome send_packet(std::span<const std::uint8_t> payload_bits);
 
+  /// Runs packet number `packet_index` of the paper's BER methodology
+  /// (random payload, random start padding, fresh channel noise) as a pure
+  /// function of (options.seed, channel noise_seed, packet_index): the
+  /// payload, padding and noise streams are derived with rt::split_seed,
+  /// never from shared engine state. Thread-safe for concurrent calls on
+  /// one simulator, and the outcome is independent of call order -- the
+  /// property the parallel sweep engine (rt::runtime) is built on.
+  [[nodiscard]] PacketOutcome run_packet(std::uint64_t packet_index,
+                                         std::size_t payload_bytes) const;
+
   /// Paper methodology: `packets` packets of `payload_bytes` random bytes.
-  [[nodiscard]] LinkStats run(int packets, std::size_t payload_bytes = 128);
+  /// Equivalent to merging run_packet(0..packets-1) in order, so a serial
+  /// run is bit-identical to any parallel partition of the same indices.
+  [[nodiscard]] LinkStats run(int packets, std::size_t payload_bytes = 128) const;
 
   [[nodiscard]] const Channel& channel() const { return channel_; }
   [[nodiscard]] const phy::PhyParams& params() const { return params_; }
   [[nodiscard]] double snr_db() const { return channel_.snr_db(); }
 
  private:
+  [[nodiscard]] PacketOutcome transmit(std::span<const std::uint8_t> payload_bits, Rng& pad_rng,
+                                       const phy::WaveformSource& source) const;
+
   phy::PhyParams params_;
   Channel channel_;
   phy::Modulator modulator_;
