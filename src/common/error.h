@@ -24,6 +24,7 @@
 #include <source_location>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <type_traits>
 
 // RT_ENABLE_ASSERTS: 1 when debug-only contracts (RT_ASSERT,
@@ -62,18 +63,18 @@ class AssertionError : public std::logic_error {
 
 namespace detail {
 
-[[noreturn]] inline void fail_precondition(const char* expr, const std::string& msg,
+[[noreturn]] inline void fail_precondition(const char* expr, std::string_view msg,
                                            const std::source_location& loc) {
   throw PreconditionError(std::string(loc.file_name()) + ":" + std::to_string(loc.line()) +
                           ": precondition `" + expr + "` failed" +
-                          (msg.empty() ? "" : (": " + msg)));
+                          (msg.empty() ? "" : (": " + std::string(msg))));
 }
 
-[[noreturn]] inline void fail_assertion(const char* expr, const std::string& msg,
+[[noreturn]] inline void fail_assertion(const char* expr, std::string_view msg,
                                         const std::source_location& loc) {
   throw AssertionError(std::string(loc.file_name()) + ":" + std::to_string(loc.line()) +
                        ": assertion `" + expr + "` failed" +
-                       (msg.empty() ? "" : (": " + msg)));
+                       (msg.empty() ? "" : (": " + std::string(msg))));
 }
 
 /// True when every element of `v` is finite. Overloads cover the value
@@ -104,15 +105,31 @@ constexpr bool all_finite(const Range& r) {
 
 }  // namespace detail
 
-/// Verifies a precondition; throws PreconditionError with location info on failure.
-inline void ensure(bool cond, const char* expr, const std::string& msg = "",
+/// Verifies a precondition; throws PreconditionError with location info on
+/// failure. Literal messages stay `const char*` all the way down, so the
+/// success path never materialises a std::string (hot paths call RT_ENSURE
+/// per packet and must stay allocation-free).
+inline void ensure(bool cond, const char* expr, const char* msg = "",
+                   const std::source_location& loc = std::source_location::current()) {
+  if (!cond) detail::fail_precondition(expr, msg, loc);
+}
+
+/// Overload for call sites that build a dynamic message. The caller pays
+/// for the string only when it chooses to construct one.
+inline void ensure(bool cond, const char* expr, const std::string& msg,
                    const std::source_location& loc = std::source_location::current()) {
   if (!cond) detail::fail_precondition(expr, msg, loc);
 }
 
 /// Verifies an internal invariant; throws AssertionError on failure. Callers
 /// normally reach this through RT_ASSERT so release builds pay nothing.
-inline void assert_true(bool cond, const char* expr, const std::string& msg = "",
+inline void assert_true(bool cond, const char* expr, const char* msg = "",
+                        const std::source_location& loc = std::source_location::current()) {
+  if (!cond) detail::fail_assertion(expr, msg, loc);
+}
+
+/// Dynamic-message overload mirroring ensure().
+inline void assert_true(bool cond, const char* expr, const std::string& msg,
                         const std::source_location& loc = std::source_location::current()) {
   if (!cond) detail::fail_assertion(expr, msg, loc);
 }

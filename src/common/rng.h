@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <random>
+#include <span>
 #include <vector>
 
 #include "common/narrow.h"
@@ -64,8 +65,14 @@ class Rng {
   /// `n` random payload bits.
   [[nodiscard]] std::vector<std::uint8_t> bits(std::size_t n) {
     std::vector<std::uint8_t> out(n);
-    for (auto& b : out) b = bernoulli() ? 1 : 0;
+    fill_bits(out);
     return out;
+  }
+
+  /// Fills a caller-owned buffer with random bits (same draw order as
+  /// bits(), so reusable-workspace callers stay bit-identical).
+  void fill_bits(std::span<std::uint8_t> out) {
+    for (auto& b : out) b = bernoulli() ? 1 : 0;
   }
 
   /// `n` random payload bytes.

@@ -53,42 +53,53 @@ void TagArray::reset() {
 
 sig::IqWaveform TagArray::synthesize(std::span<const Firing> schedule, double fs,
                                      double duration_s) {
+  SynthScratch scratch;
+  sig::IqWaveform out;
+  synthesize_into(schedule, fs, duration_s, scratch, out);
+  return out;
+}
+
+void TagArray::synthesize_into(std::span<const Firing> schedule, double fs, double duration_s,
+                               SynthScratch& scratch, sig::IqWaveform& out) {
   RT_ENSURE(fs > 0.0 && duration_s > 0.0, "sample rate and duration must be positive");
   RT_ENSURE(std::is_sorted(schedule.begin(), schedule.end(),
                            [](const Firing& a, const Firing& b) { return a.time_s < b.time_s; }),
             "firing schedule must be sorted by time");
 
   // Expand firings into set-level / release events.
-  struct Event {
-    double t;
-    int module;
-    bool is_i;
-    int level;  // level to apply (release = 0)
-  };
-  std::vector<Event> events;
+  using Event = SynthScratch::Event;
+  auto& events = scratch.events;
+  events.clear();
   events.reserve(schedule.size() * 4);
+  std::uint32_t seq = 0;
   for (const auto& f : schedule) {
     RT_ENSURE(f.module >= 0 && f.module < cfg_.dsm_order, "firing module out of range");
     if (f.level_i >= 0) {
-      events.push_back({f.time_s, f.module, true, f.level_i});
-      events.push_back({f.time_s + cfg_.charge_s, f.module, true, 0});
+      events.push_back({f.time_s, f.module, seq++, true, f.level_i});
+      events.push_back({f.time_s + cfg_.charge_s, f.module, seq++, true, 0});
     }
     if (f.level_q >= 0) {
-      events.push_back({f.time_s, f.module, false, f.level_q});
-      events.push_back({f.time_s + cfg_.charge_s, f.module, false, 0});
+      events.push_back({f.time_s, f.module, seq++, false, f.level_q});
+      events.push_back({f.time_s + cfg_.charge_s, f.module, seq++, false, 0});
     }
   }
-  std::stable_sort(events.begin(), events.end(),
-                   [](const Event& a, const Event& b) { return a.t < b.t; });
+  // (t, seq) ordering reproduces stable_sort-by-t exactly -- seq breaks
+  // ties in insertion order -- while std::sort stays allocation-free
+  // (libstdc++ stable_sort grabs a temporary merge buffer per call).
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    return a.t < b.t || (a.t == b.t && a.seq < b.seq);
+  });
 
   const auto n = static_cast<std::size_t>(std::ceil(duration_s * fs));
-  sig::IqWaveform out(fs, n);
+  out.sample_rate_hz = fs;
+  out.samples.assign(n, sig::Complex{});
   const double dt = 1.0 / fs;
   // Event times quantized to sample indices up front: comparing raw
   // floating-point times against i/fs makes an event land one sample late
   // or early depending on rounding of the schedule's time sums, which
   // would shift the whole waveform relative to the receiver's slot grid.
-  std::vector<std::size_t> event_sample(events.size());
+  auto& event_sample = scratch.event_sample;
+  event_sample.resize(events.size());
   for (std::size_t e = 0; e < events.size(); ++e)
     event_sample[e] = static_cast<std::size_t>(std::llround(events[e].t * fs));
   std::size_t next_event = 0;
@@ -106,7 +117,6 @@ sig::IqWaveform TagArray::synthesize(std::span<const Firing> schedule, double fs
       acc += module_gain_q_[m] * q_modules_[m].step(dt);
     out[i] = acc;
   }
-  return out;
 }
 
 double TagArray::drive_energy(std::span<const Firing> schedule) const {

@@ -9,6 +9,7 @@
 // effects are applied downstream (sim / frontend layers).
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -57,6 +58,21 @@ struct Firing {
   int level_q = 0;
 };
 
+/// Reusable event-expansion scratch for TagArray::synthesize_into(). A
+/// scratch held across packets stops allocating once it has seen the
+/// largest schedule; every buffer is fully overwritten per synthesis.
+struct SynthScratch {
+  struct Event {
+    double t;
+    int module;
+    std::uint32_t seq;  ///< insertion index: sort ties resolve in push order
+    bool is_i;
+    int level;  ///< level to apply (release = 0)
+  };
+  std::vector<Event> events;
+  std::vector<std::size_t> event_sample;
+};
+
 class TagArray {
  public:
   explicit TagArray(const TagConfig& config);
@@ -67,6 +83,14 @@ class TagArray {
   /// relaxed pixels (a DC term the receiver regression removes).
   [[nodiscard]] sig::IqWaveform synthesize(std::span<const Firing> schedule, double fs,
                                            double duration_s);
+
+  /// Workspace form of synthesize(): writes the waveform into `out`
+  /// (capacity reused) and expands events into `scratch`. Starts from the
+  /// tag's current LC state -- callers reusing one TagArray across packets
+  /// must reset() first (reset() provably restores the as-constructed
+  /// state, so reset+synthesize_into is bit-identical to a fresh tag).
+  void synthesize_into(std::span<const Firing> schedule, double fs, double duration_s,
+                       SynthScratch& scratch, sig::IqWaveform& out);
 
   /// Resets every LC cell to the relaxed state.
   void reset();

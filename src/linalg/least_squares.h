@@ -21,6 +21,26 @@ struct QrResult {
   Matrix<T> r;  ///< n x n upper triangular
 };
 
+/// Reusable scratch for the in-place QR solve path. A workspace held
+/// across packets stops allocating once it has seen the largest problem
+/// size; every buffer is fully overwritten per solve, so reuse cannot
+/// leak state between solves.
+///
+/// Q is stored column-major (column j at q[j*m .. j*m+m)), so the MGS
+/// projections run over contiguous spans with exactly the arithmetic the
+/// copying qr_decompose() performs on extracted columns -- results are
+/// bit-identical between the two entry points.
+template <typename T>
+struct LsWorkspace {
+  std::vector<T> q;     ///< m x n orthonormal columns, column-major
+  Matrix<T> r;          ///< n x n upper triangular
+  std::vector<T> work;  ///< m x n column-major copy of A (mutated by MGS)
+  std::vector<T> y;     ///< n rhs projection Q^H b
+  std::vector<T> x;     ///< n solution
+  std::size_t m = 0;    ///< rows of the last decomposed A
+  std::size_t n = 0;    ///< cols of the last decomposed A
+};
+
 /// Thin QR via modified Gram-Schmidt with reorthogonalization.
 /// Requires rows >= cols and full column rank.
 template <typename T>
@@ -55,6 +75,72 @@ template <typename T>
   return {std::move(q), std::move(r)};
 }
 
+/// Thin QR via modified Gram-Schmidt into a reusable workspace. Same
+/// algorithm (and bit-identical results) as qr_decompose(), but the only
+/// heap traffic is growth of the workspace buffers on first use.
+template <typename T>
+void qr_decompose_into(const Matrix<T>& a, LsWorkspace<T>& ws) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  RT_ENSURE(m >= n, "qr_decompose requires rows >= cols");
+  ws.m = m;
+  ws.n = n;
+  ws.q.resize(m * n);
+  ws.r.resize(n, n);
+  ws.work.resize(m * n);
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t k = 0; k < m; ++k) ws.work[j * m + k] = a(k, j);
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::span<T> v(ws.work.data() + j * m, m);
+    const double original_norm = norm<T>(v);
+    for (int pass = 0; pass < 2; ++pass) {
+      for (std::size_t i = 0; i < j; ++i) {
+        const std::span<const T> qi(ws.q.data() + i * m, m);
+        const T proj = dot<T>(qi, v);
+        ws.r(i, j) += proj;
+        for (std::size_t k = 0; k < m; ++k) v[k] -= proj * qi[k];
+      }
+    }
+    const double nv = norm<T>(std::span<const T>(v));
+    RT_ENSURE(nv > 1e-300 && nv > 1e-10 * original_norm, "qr_decompose: rank-deficient matrix");
+    ws.r(j, j) = T{nv};
+    for (std::size_t k = 0; k < m; ++k) ws.q[j * m + k] = v[k] / T{nv};
+  }
+}
+
+/// Solves min ||A x - b|| for the A last passed to qr_decompose_into.
+/// Returns a span over ws.x (valid until the next solve). Reusing the
+/// decomposition amortizes QR across multiple right-hand sides.
+template <typename T>
+[[nodiscard]] std::span<const T> solve_after_qr(std::span<const T> b, LsWorkspace<T>& ws) {
+  RT_ENSURE(b.size() == ws.m, "solve_after_qr dimension mismatch");
+  const std::size_t m = ws.m;
+  const std::size_t n = ws.n;
+  ws.y.resize(n);
+  for (std::size_t j = 0; j < n; ++j)
+    ws.y[j] = dot<T>(std::span<const T>(ws.q.data() + j * m, m), b);
+  ws.x.resize(n);
+  for (std::size_t ii = 0; ii < n; ++ii) {
+    const std::size_t i = n - 1 - ii;
+    T s = ws.y[i];
+    for (std::size_t j = i + 1; j < n; ++j) s -= ws.r(i, j) * ws.x[j];
+    RT_ENSURE(abs_sq(ws.r(i, i)) > 0.0, "back_substitute: singular R");
+    ws.x[i] = s / ws.r(i, i);
+  }
+  return ws.x;
+}
+
+/// Workspace form of solve_least_squares(): same solution, zero steady-
+/// state allocations. Returns a span over ws.x.
+template <typename T>
+[[nodiscard]] std::span<const T> solve_least_squares_into(const Matrix<T>& a,
+                                                          std::span<const T> b,
+                                                          LsWorkspace<T>& ws) {
+  RT_ENSURE(a.rows() == b.size(), "solve_least_squares dimension mismatch");
+  qr_decompose_into(a, ws);
+  return solve_after_qr(b, ws);
+}
+
 /// Solves R x = y for upper-triangular R by back substitution.
 template <typename T>
 [[nodiscard]] std::vector<T> back_substitute(const Matrix<T>& r, std::span<const T> y) {
@@ -82,14 +168,19 @@ template <typename T>
   return back_substitute(r, std::span<const T>(y));
 }
 
-/// Residual norm ||A x - b||_2 for a candidate solution.
+/// Residual norm ||A x - b||_2 for a candidate solution. Accumulates row
+/// by row without materializing A*x (hot paths call this per packet).
 template <typename T>
 [[nodiscard]] double residual_norm(const Matrix<T>& a, std::span<const T> x,
                                    std::span<const T> b) {
-  const auto ax = a * x;
-  RT_ENSURE(ax.size() == b.size(), "residual_norm dimension mismatch");
+  RT_ENSURE(a.cols() == x.size(), "residual_norm dimension mismatch");
+  RT_ENSURE(a.rows() == b.size(), "residual_norm dimension mismatch");
   double s = 0.0;
-  for (std::size_t i = 0; i < b.size(); ++i) s += abs_sq(ax[i] - b[i]);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    T ax{};
+    for (std::size_t c = 0; c < a.cols(); ++c) ax += a(i, c) * x[c];
+    s += abs_sq(ax - b[i]);
+  }
   return std::sqrt(s);
 }
 

@@ -62,6 +62,15 @@ class Matrix {
     RT_ENSURE(data_.size() == rows_ * cols_, "matrix data size mismatch");
   }
 
+  /// Reshapes to rows x cols and zero-fills. Reuses the existing heap
+  /// buffer whenever capacity allows, so workspace-held matrices stop
+  /// allocating once they have seen their largest problem size.
+  void resize(std::size_t rows, std::size_t cols, T fill = T{}) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, fill);
+  }
+
   [[nodiscard]] static Matrix identity(std::size_t n) {
     Matrix m(n, n);
     for (std::size_t i = 0; i < n; ++i) m(i, i) = T{1};

@@ -74,6 +74,13 @@ class Constellation {
   [[nodiscard]] std::vector<std::uint8_t> unmap(const SymbolLevels& s) const {
     std::vector<std::uint8_t> bits;
     bits.reserve(static_cast<std::size_t>(bits_per_symbol()));
+    unmap_into(s, bits);
+    return bits;
+  }
+
+  /// Appends the unmapped bits of `s` to a caller-owned buffer (no
+  /// allocation once the buffer has capacity).
+  void unmap_into(const SymbolLevels& s, std::vector<std::uint8_t>& bits) const {
     const auto push_level = [&](int level) {
       RT_ENSURE(level >= 0 && level < levels_per_axis(), "level out of range");
       const std::uint32_t v = sig::gray_decode(narrow_cast<std::uint32_t>(level));
@@ -82,7 +89,6 @@ class Constellation {
     };
     push_level(s.level_i);
     if (use_q_) push_level(s.level_q);
-    return bits;
   }
 
   /// Normalized drive fraction rho in [0, 1] for a level.

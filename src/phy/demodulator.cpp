@@ -63,42 +63,58 @@ std::vector<unsigned> Demodulator::initial_payload_histories(const PhyParams& p,
 
 DemodResult Demodulator::demodulate(const sig::IqWaveform& rx, int payload_slots,
                                     const DemodOptions& options) const {
-  RT_ENSURE(payload_slots >= 1, "need at least one payload slot");
+  sig::IqWaveform scratch_rx = rx;
+  DemodWorkspace ws;
   DemodResult out;
+  demodulate_into(scratch_rx, payload_slots, options, ws, out);
+  return out;
+}
 
-  const auto det = preamble_.detect(rx, options.search_limit);
+void Demodulator::demodulate_into(sig::IqWaveform& rx, int payload_slots,
+                                  const DemodOptions& options, DemodWorkspace& ws,
+                                  DemodResult& out) const {
+  RT_ENSURE(payload_slots >= 1, "need at least one payload slot");
+  out.preamble_found = false;
+  out.bits.clear();
+  out.equalizer_metric = 0.0;
+
+  const auto det = preamble_.detect(rx, options.search_limit, ws.preamble);
   out.detection = det;
   out.preamble_found = det.found;
-  if (!det.found) return out;
+  if (!det.found) return;
 
-  const auto corrected = preamble_.correct(rx, det);
+  // The received buffer becomes the corrected-signal stage in place; every
+  // downstream consumer reads the corrected samples.
+  preamble_.correct_in_place(rx, det);
+  const sig::IqWaveform& corrected = rx;
   const auto layout = FrameLayout::for_params(p_, payload_slots);
   const std::size_t frame_start = det.start_sample;
   const std::size_t t_samps = p_.samples_per_slot();
 
-  std::optional<PulseBank> trained;
   const PulseBank* bank = options.oracle;
   if (options.online_training) {
-    trained = OnlineTrainer::train(p_, offline_, layout, corrected, frame_start);
-    bank = &*trained;
+    OnlineTrainer::train_into(p_, offline_, layout, corrected, frame_start, ws.trained,
+                              ws.training);
+    bank = &ws.trained;
   }
   RT_ENSURE(bank != nullptr, "no pulse bank: enable online training or provide an oracle");
 
   const DfeEqualizer eq(p_, *bank);
-  const auto histories = initial_payload_histories(p_, layout);
+  if (!ws.histories_valid || !(ws.histories_params == p_) || !(ws.histories_layout == layout)) {
+    ws.histories = initial_payload_histories(p_, layout);
+    ws.histories_params = p_;
+    ws.histories_layout = layout;
+    ws.histories_valid = true;
+  }
   const std::size_t payload_begin =
       frame_start + static_cast<std::size_t>(layout.payload_begin()) * t_samps;
-  const auto eq_result = eq.equalize(corrected, payload_begin, payload_slots, histories);
-  out.equalizer_metric = eq_result.final_metric;
+  eq.equalize_into(corrected, payload_begin, payload_slots, ws.histories, ws.eq, ws.eq_result);
+  out.equalizer_metric = ws.eq_result.final_metric;
   RT_DCHECK_FINITE(out.equalizer_metric);
 
   out.bits.reserve(static_cast<std::size_t>(payload_slots) * constellation_.bits_per_symbol());
-  for (const auto& sym : eq_result.symbols) {
-    const auto bits = constellation_.unmap(sym);
-    out.bits.insert(out.bits.end(), bits.begin(), bits.end());
-  }
-  if (options.descramble) out.bits = scrambler_.apply(out.bits);
-  return out;
+  for (const auto& sym : ws.eq_result.symbols) constellation_.unmap_into(sym, out.bits);
+  if (options.descramble) scrambler_.apply_in_place(out.bits);
 }
 
 }  // namespace rt::phy

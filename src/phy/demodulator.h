@@ -28,6 +28,21 @@ struct DemodResult {
   double equalizer_metric = 0.0;
 };
 
+/// Reusable per-packet receiver scratch: one sub-workspace per pipeline
+/// stage plus the trained pulse bank and the cached initial histories
+/// (a pure function of (PhyParams, FrameLayout)).
+struct DemodWorkspace {
+  PreambleWorkspace preamble;
+  TrainingWorkspace training;
+  PulseBank trained;            ///< online-trained bank, rebuilt in place
+  EqualizerWorkspace eq;
+  EqualizerResult eq_result;
+  std::vector<unsigned> histories;
+  bool histories_valid = false;
+  PhyParams histories_params;
+  FrameLayout histories_layout;
+};
+
 class Demodulator {
  public:
   Demodulator(const PhyParams& params, OfflineModel offline_model);
@@ -35,6 +50,13 @@ class Demodulator {
   /// Demodulates one packet of `payload_slots` slots from `rx`.
   [[nodiscard]] DemodResult demodulate(const sig::IqWaveform& rx, int payload_slots,
                                        const DemodOptions& options = {}) const;
+
+  /// Workspace form of demodulate(): `rx` is rotation-corrected IN PLACE
+  /// (the caller's waveform buffer doubles as the corrected-signal stage),
+  /// and `out.bits` is rebuilt inside its existing capacity. Bit-identical
+  /// to demodulate() on the same input.
+  void demodulate_into(sig::IqWaveform& rx, int payload_slots, const DemodOptions& options,
+                       DemodWorkspace& ws, DemodResult& out) const;
 
   /// Module firing histories at the first payload slot, derived from the
   /// frame layout (training field then guard).

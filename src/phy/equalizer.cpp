@@ -1,8 +1,7 @@
 #include "phy/equalizer.h"
 
 #include <algorithm>
-#include <string>
-#include <unordered_map>
+#include <cstring>
 
 #include "common/error.h"
 
@@ -22,29 +21,28 @@ namespace {
 // constellations. The equalizer therefore tracks a V-bit history per
 // *pixel*.
 
-struct Branch {
-  double metric = 0.0;
-  std::vector<SymbolLevels> decisions;
-  std::vector<Complex> residual;    ///< upcoming window [nT, nT + W)
-  std::vector<unsigned> pixel_hist; ///< per-pixel V-bit firing history
-};
+using Branch = EqualizerWorkspace::Branch;
+using Candidate = EqualizerWorkspace::Candidate;
+using PixelTerm = EqualizerWorkspace::PixelTerm;
 
-/// Key identifying branches with identical future behaviour: the last
-/// (L - 1) decisions (whose pulses still overlap future slots) plus every
-/// pixel history.
-std::string merge_key(const Branch& b, int dsm_order) {
-  std::string key;
+/// Writes the merge key of `b` -- the last (L - 1) decisions (whose pulses
+/// still overlap future slots) plus every pixel history -- into `dst`
+/// (fixed stride, zero-padded head). All branches compared within one slot
+/// carry the same number of decisions, so the padded fixed-width layout
+/// equals the variable-length key byte for byte where it matters.
+void write_merge_key(const Branch& b, int dsm_order, std::span<char> dst) {
+  std::memset(dst.data(), 0, dst.size());
   const std::size_t tail = std::min<std::size_t>(b.decisions.size(),
                                                  static_cast<std::size_t>(dsm_order - 1));
+  std::size_t w = 0;
   for (std::size_t i = b.decisions.size() - tail; i < b.decisions.size(); ++i) {
     // rt-lint: narrowing-ok (opaque hash key; only equality matters)
-    key.push_back(static_cast<char>(b.decisions[i].level_i + 2));
-    key.push_back(static_cast<char>(b.decisions[i].level_q + 2));  // rt-lint: narrowing-ok
+    dst[w++] = static_cast<char>(b.decisions[i].level_i + 2);
+    dst[w++] = static_cast<char>(b.decisions[i].level_q + 2);  // rt-lint: narrowing-ok
   }
-  key.push_back('|');
+  dst[w++] = '|';
   // rt-lint: narrowing-ok (opaque hash key; only equality matters)
-  for (const auto h : b.pixel_hist) key.push_back(static_cast<char>(h));
-  return key;
+  for (const auto h : b.pixel_hist) dst[w++] = static_cast<char>(h);
 }
 
 }  // namespace
@@ -61,6 +59,15 @@ DfeEqualizer::DfeEqualizer(const PhyParams& params, const PulseBank& bank)
 EqualizerResult DfeEqualizer::equalize(const sig::IqWaveform& rx, std::size_t payload_begin,
                                        int n_slots,
                                        std::span<const unsigned> initial_histories) const {
+  EqualizerWorkspace ws;
+  EqualizerResult out;
+  equalize_into(rx, payload_begin, n_slots, initial_histories, ws, out);
+  return out;
+}
+
+void DfeEqualizer::equalize_into(const sig::IqWaveform& rx, std::size_t payload_begin,
+                                 int n_slots, std::span<const unsigned> initial_histories,
+                                 EqualizerWorkspace& ws, EqualizerResult& out) const {
   RT_ENSURE(n_slots >= 1, "need at least one slot");
   const int l = p_.dsm_order;
   const int modules = p_.use_q_channel ? 2 * l : l;
@@ -81,13 +88,9 @@ EqualizerResult DfeEqualizer::equalize(const sig::IqWaveform& rx, std::size_t pa
   // Module waveform terms for `level` given per-pixel histories: one
   // area-weighted template per pixel whose (history, fired) key is
   // non-zero -- including the tail terms of unfired pixels.
-  struct PixelTerm {
-    std::span<const Complex> tmpl;
-    Complex weight;  ///< area x calibrated pixel gain
-  };
   const auto gather_terms = [&](int module_global, int level,
                                 std::span<const unsigned> pixel_hist,
-                                std::vector<PixelTerm>& out) {
+                                std::vector<PixelTerm>& out_terms) {
     const std::size_t base =
         static_cast<std::size_t>(module_global) * static_cast<std::size_t>(bits);
     for (int wb = 0; wb < bits; ++wb) {
@@ -97,33 +100,46 @@ EqualizerResult DfeEqualizer::equalize(const sig::IqWaveform& rx, std::size_t pa
       const unsigned key = (h << 1) | fired;
       if (key == 0) continue;
       const double area = static_cast<double>(1 << weight_bit) / area_denom;
-      out.push_back({bank_.pulse(module_global, key),
-                     area * bank_.pixel_gain(module_global, wb)});
+      out_terms.push_back({bank_.pulse(module_global, key),
+                           area * bank_.pixel_gain(module_global, wb)});
     }
   };
 
-  Branch seed;
-  seed.pixel_hist.assign(initial_histories.begin(), initial_histories.end());
-  seed.residual.resize(w_samps);
-  for (std::size_t k = 0; k < w_samps; ++k) seed.residual[k] = rx_at(payload_begin + k);
-  std::vector<Branch> branches = {std::move(seed)};
+  // Seed branch reuses pool slot 0; every field is fully rewritten.
+  if (ws.cur.empty()) ws.cur.emplace_back();
+  {
+    Branch& seed = ws.cur[0];
+    seed.metric = 0.0;
+    seed.decisions.clear();
+    seed.pixel_hist.assign(initial_histories.begin(), initial_histories.end());
+    seed.residual.resize(w_samps);
+    for (std::size_t k = 0; k < w_samps; ++k) seed.residual[k] = rx_at(payload_begin + k);
+  }
+  ws.n_cur = 1;
 
-  const auto alphabet = constellation_.alphabet();
+  // Alphabet is a pure function of (bits_per_axis, use_q_channel); rebuild
+  // only when the constellation changed since the last packet.
+  if (ws.alphabet_bits != bits || ws.alphabet_q != (p_.use_q_channel ? 1 : 0)) {
+    ws.alphabet = constellation_.alphabet();
+    ws.alphabet_bits = bits;
+    ws.alphabet_q = p_.use_q_channel ? 1 : 0;
+  }
+  const auto& alphabet = ws.alphabet;
 
-  struct Candidate {
-    std::size_t parent;
-    SymbolLevels sym;
-    double metric;
-  };
+  auto& terms = ws.terms;
 
-  std::vector<PixelTerm> terms;
+  // Merge-key layout: fixed stride so keys live in one flat buffer.
+  const std::size_t key_stride =
+      2 * static_cast<std::size_t>(l > 0 ? l - 1 : 0) + 1 + n_pixels;
+  const auto max_branches = static_cast<std::size_t>(p_.equalizer_branches);
 
   for (int n = 0; n < n_slots; ++n) {
     if (!p_.slot_active(n)) {
       // Basic-DSM rest slot: no firing to decide. Score the window energy
       // (a correct past cancels to noise; a wrong decision leaves residual
       // here), then slide every branch forward one slot.
-      for (auto& b : branches) {
+      for (std::size_t bi = 0; bi < ws.n_cur; ++bi) {
+        Branch& b = ws.cur[bi];
         for (std::size_t k = 0; k < t_samps; ++k) b.metric += std::norm(b.residual[k]);
         for (std::size_t k = t_samps; k < w_samps; ++k) b.residual[k - t_samps] = b.residual[k];
         const std::size_t next_window_begin =
@@ -134,10 +150,11 @@ EqualizerResult DfeEqualizer::equalize(const sig::IqWaveform& rx, std::size_t pa
       continue;
     }
     const int m = p_.slot_module(n);
-    std::vector<Candidate> candidates;
-    candidates.reserve(branches.size() * alphabet.size());
-    for (std::size_t bi = 0; bi < branches.size(); ++bi) {
-      const auto& b = branches[bi];
+    auto& candidates = ws.candidates;
+    candidates.clear();
+    candidates.reserve(ws.n_cur * alphabet.size());
+    for (std::size_t bi = 0; bi < ws.n_cur; ++bi) {
+      const auto& b = ws.cur[bi];
       for (const auto& sym : alphabet) {
         terms.clear();
         gather_terms(m, sym.level_i, b.pixel_hist, terms);
@@ -154,14 +171,17 @@ EqualizerResult DfeEqualizer::equalize(const sig::IqWaveform& rx, std::size_t pa
     std::sort(candidates.begin(), candidates.end(),
               [](const Candidate& a, const Candidate& b) { return a.metric < b.metric; });
 
-    // Survivor selection: optionally merge identical trellis states first.
-    std::vector<Branch> next;
-    next.reserve(static_cast<std::size_t>(p_.equalizer_branches));
-    std::unordered_map<std::string, bool> seen_states;
+    // Survivor selection into the `next` pool: optionally merge identical
+    // trellis states first. Copy assignment into pooled branches reuses
+    // the inner vectors' capacity.
+    std::size_t n_next = 0;
+    std::size_t n_seen = 0;
+    if (p_.merge_equalizer_states) ws.seen_keys.resize(max_branches * key_stride);
     for (const auto& c : candidates) {
-      if (next.size() >= static_cast<std::size_t>(p_.equalizer_branches)) break;
-      const auto& parent = branches[c.parent];
-      Branch nb;
+      if (n_next >= max_branches) break;
+      const auto& parent = ws.cur[c.parent];
+      if (n_next == ws.next.size()) ws.next.emplace_back();
+      Branch& nb = ws.next[n_next];
       nb.metric = c.metric;
       nb.decisions = parent.decisions;
       nb.decisions.push_back(c.sym);
@@ -184,9 +204,17 @@ EqualizerResult DfeEqualizer::equalize(const sig::IqWaveform& rx, std::size_t pa
       update_hist(m, c.sym.level_i);
       if (p_.use_q_channel) update_hist(l + m, c.sym.level_q);
       if (p_.merge_equalizer_states) {
-        const auto key = merge_key(nb, l);
-        if (seen_states.contains(key)) continue;  // a better-metric twin already survived
-        seen_states.emplace(key, true);
+        const std::span<char> key(ws.seen_keys.data() + n_seen * key_stride, key_stride);
+        write_merge_key(nb, l, key);
+        bool dup = false;
+        for (std::size_t s = 0; s < n_seen; ++s) {
+          if (std::memcmp(ws.seen_keys.data() + s * key_stride, key.data(), key_stride) == 0) {
+            dup = true;  // a better-metric twin already survived
+            break;
+          }
+        }
+        if (dup) continue;
+        ++n_seen;
       }
       // Decision feedback: subtract the decided cycle's waveform over its
       // full W span, then slide the window one slot forward.
@@ -203,17 +231,19 @@ EqualizerResult DfeEqualizer::equalize(const sig::IqWaveform& rx, std::size_t pa
           payload_begin + (static_cast<std::size_t>(n) + 1) * t_samps + (w_samps - t_samps);
       for (std::size_t k = 0; k < t_samps; ++k)
         nb.residual[w_samps - t_samps + k] = rx_at(next_window_begin + k);
-      next.push_back(std::move(nb));
+      ++n_next;
     }
-    branches = std::move(next);
-    RT_ENSURE(!branches.empty(), "equalizer lost all branches");
+    std::swap(ws.cur, ws.next);
+    ws.n_cur = n_next;
+    RT_ENSURE(ws.n_cur > 0, "equalizer lost all branches");
   }
 
-  RT_DCHECK_FINITE(branches.front().metric);
+  RT_DCHECK_FINITE(ws.cur.front().metric);
   const auto best = std::min_element(
-      branches.begin(), branches.end(),
+      ws.cur.begin(), ws.cur.begin() + static_cast<std::ptrdiff_t>(ws.n_cur),
       [](const Branch& a, const Branch& b) { return a.metric < b.metric; });
-  return {best->decisions, best->metric};
+  out.symbols.assign(best->decisions.begin(), best->decisions.end());
+  out.final_metric = best->metric;
 }
 
 }  // namespace rt::phy

@@ -27,6 +27,38 @@ struct EqualizerResult {
   double final_metric = 0.0;  ///< cumulative squared error of the winner
 };
 
+/// Reusable branch pools and scratch for DfeEqualizer::equalize_into().
+/// Branches live in two pools (current generation / survivors) whose inner
+/// vectors keep their capacity across slots and packets, so the branch
+/// expansion loop stops allocating once it has seen the deepest packet.
+struct EqualizerWorkspace {
+  struct Branch {
+    double metric = 0.0;
+    std::vector<SymbolLevels> decisions;
+    std::vector<Complex> residual;     ///< upcoming window [nT, nT + W)
+    std::vector<unsigned> pixel_hist;  ///< per-pixel V-bit firing history
+  };
+  struct Candidate {
+    std::size_t parent;
+    SymbolLevels sym;
+    double metric;
+  };
+  struct PixelTerm {
+    std::span<const Complex> tmpl;
+    Complex weight;  ///< area x calibrated pixel gain
+  };
+
+  std::vector<Branch> cur;   ///< live branches (first n_cur entries)
+  std::vector<Branch> next;  ///< survivor pool being built
+  std::size_t n_cur = 0;
+  std::vector<Candidate> candidates;
+  std::vector<PixelTerm> terms;
+  std::vector<SymbolLevels> alphabet;  ///< cached constellation alphabet
+  int alphabet_bits = 0;               ///< cache key: bits per axis
+  int alphabet_q = -1;                 ///< cache key: use_q (as int; -1 = invalid)
+  std::vector<char> seen_keys;         ///< flat fixed-stride merge keys
+};
+
 class DfeEqualizer {
  public:
   DfeEqualizer(const PhyParams& params, const PulseBank& bank);
@@ -39,6 +71,12 @@ class DfeEqualizer {
   [[nodiscard]] EqualizerResult equalize(const sig::IqWaveform& rx, std::size_t payload_begin,
                                          int n_slots,
                                          std::span<const unsigned> initial_histories) const;
+
+  /// Workspace form of equalize(): writes the winning decision sequence
+  /// into `out`, reusing the workspace pools. Bit-identical to equalize().
+  void equalize_into(const sig::IqWaveform& rx, std::size_t payload_begin, int n_slots,
+                     std::span<const unsigned> initial_histories, EqualizerWorkspace& ws,
+                     EqualizerResult& out) const;
 
  private:
   const PhyParams p_;

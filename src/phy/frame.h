@@ -37,6 +37,10 @@ struct FrameLayout {
   int tail_slots = 0;
   int dsm_order = 0;
 
+  /// Layouts are pure functions of (PhyParams, payload_slots); equality
+  /// lets workspace caches detect when a cached schedule still applies.
+  [[nodiscard]] bool operator==(const FrameLayout&) const = default;
+
   [[nodiscard]] int preamble_begin() const { return 0; }
   [[nodiscard]] int training_begin() const { return preamble_slots + guard_slots; }
   [[nodiscard]] int training_slots() const { return training_rounds * dsm_order; }

@@ -27,6 +27,17 @@ struct PacketSchedule {
   double duration_s = 0.0;                    ///< total frame duration incl. tail
 };
 
+/// Reusable modulation scratch. The frame prefix (preamble + training +
+/// pixel-calibration firings) is payload-independent, so it is built and
+/// sorted once and replayed for every packet with the same geometry.
+struct ModulatorWorkspace {
+  std::vector<std::uint8_t> bits;       ///< scrambled, padded payload bits
+  std::vector<lcm::Firing> prefix;      ///< sorted payload-independent firings
+  FrameLayout prefix_layout;
+  PhyParams prefix_params;
+  bool prefix_valid = false;
+};
+
 class Modulator {
  public:
   explicit Modulator(const PhyParams& params)
@@ -42,8 +53,20 @@ class Modulator {
   /// symbols. Set `scramble` false for raw-waveform experiments.
   [[nodiscard]] PacketSchedule modulate(std::span<const std::uint8_t> payload_bits,
                                         bool scramble = true) const {
-    std::vector<std::uint8_t> bits(payload_bits.begin(), payload_bits.end());
-    if (scramble) bits = scrambler_.apply(bits);
+    ModulatorWorkspace ws;
+    PacketSchedule out;
+    modulate_into(payload_bits, ws, out, scramble);
+    return out;
+  }
+
+  /// Workspace form of modulate(): rebuilds `out` inside its existing
+  /// capacity and reuses the cached frame prefix. Bit-identical to
+  /// modulate().
+  void modulate_into(std::span<const std::uint8_t> payload_bits, ModulatorWorkspace& ws,
+                     PacketSchedule& out, bool scramble = true) const {
+    auto& bits = ws.bits;
+    bits.assign(payload_bits.begin(), payload_bits.end());
+    if (scramble) scrambler_.apply_in_place(bits);
     const int bps = bits_per_slot();
     // Pad to whole firing groups so the receiver can derive the symbol
     // count from the slot count alone (basic DSM keeps whole periods).
@@ -54,21 +77,33 @@ class Modulator {
     const int groups = payload_symbols / p_.dsm_order;
     const int payload_slots = groups * p_.period_slots();
 
-    PacketSchedule out;
     out.layout = FrameLayout::for_params(p_, payload_slots);
     out.payload_symbol_count = payload_symbols;
 
-    // Preamble.
-    out.firings = preamble_firings(p_, out.layout.preamble_begin());
-    // Training field.
-    const auto tsched = training_schedule(p_, out.layout);
-    const auto tfirings = training_firings(p_, tsched);
-    out.firings.insert(out.firings.end(), tfirings.begin(), tfirings.end());
-    // Pixel-calibration rounds (extension; empty when disabled).
-    const auto pfirings = pixel_training_firings(p_, out.layout);
-    out.firings.insert(out.firings.end(), pfirings.begin(), pfirings.end());
+    // Frame prefix (preamble + training + pixel calibration): depends only
+    // on (params, layout), so replay the cached sorted copy when possible.
+    if (!ws.prefix_valid || !(ws.prefix_params == p_) || !(ws.prefix_layout == out.layout)) {
+      ws.prefix = preamble_firings(p_, out.layout.preamble_begin());
+      const auto tsched = training_schedule(p_, out.layout);
+      const auto tfirings = training_firings(p_, tsched);
+      ws.prefix.insert(ws.prefix.end(), tfirings.begin(), tfirings.end());
+      const auto pfirings = pixel_training_firings(p_, out.layout);
+      ws.prefix.insert(ws.prefix.end(), pfirings.begin(), pfirings.end());
+      std::sort(ws.prefix.begin(), ws.prefix.end(),
+                [](const lcm::Firing& a, const lcm::Firing& b) { return a.time_s < b.time_s; });
+      ws.prefix_params = p_;
+      ws.prefix_layout = out.layout;
+      ws.prefix_valid = true;
+    }
+    out.firings.clear();
+    out.firings.reserve(ws.prefix.size() + static_cast<std::size_t>(payload_symbols));
+    out.firings.insert(out.firings.end(), ws.prefix.begin(), ws.prefix.end());
     // Payload: symbol s occupies the s-th *active* slot (basic DSM rests
-    // for basic_rest_slots after every L-slot group).
+    // for basic_rest_slots after every L-slot group). Payload firing times
+    // ascend and all exceed every prefix time, so appending keeps the
+    // whole schedule sorted without re-sorting (all times are distinct --
+    // the full-sort result is the same sequence).
+    out.payload_symbols.clear();
     for (int s = 0; s < payload_symbols; ++s) {
       const auto offset = static_cast<std::size_t>(s) * static_cast<std::size_t>(bps);
       const auto sym = constellation_.map(std::span(bits).subspan(offset, bps));
@@ -81,10 +116,11 @@ class Modulator {
       f.level_q = sym.level_q;
       out.firings.push_back(f);
     }
-    std::sort(out.firings.begin(), out.firings.end(),
-              [](const lcm::Firing& a, const lcm::Firing& b) { return a.time_s < b.time_s; });
+    RT_ASSERT(std::is_sorted(out.firings.begin(), out.firings.end(),
+                             [](const lcm::Firing& a, const lcm::Firing& b) {
+                               return a.time_s < b.time_s;
+                             }));
     out.duration_s = out.layout.total_slots() * p_.slot_s;
-    return out;
   }
 
   /// Descrambles bits recovered by the demodulator (inverse of modulate's

@@ -43,6 +43,10 @@ struct PhyParams {
   /// dense constellations (>= 64-PQAM) on tags with manufacturing spread.
   bool pixel_calibration = false;
 
+  /// All-scalar aggregate; equality lets workspace caches (training
+  /// schedules, frame prefixes) detect parameter changes between packets.
+  [[nodiscard]] bool operator==(const PhyParams&) const = default;
+
   [[nodiscard]] int pqam_order() const {
     return use_q_channel ? (1 << (2 * bits_per_axis)) : (1 << bits_per_axis);
   }

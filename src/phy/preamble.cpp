@@ -24,59 +24,66 @@ PreambleProcessor::PreambleProcessor(const PhyParams& params) : p_(params) {
   const auto idle = idle_tag.synthesize(std::vector<lcm::Firing>{}, p_.sample_rate_hz, duration);
   reference_.resize(active.size());
   for (std::size_t i = 0; i < active.size(); ++i) reference_[i] = active[i] - idle[i];
+  // Cache what detect()/regress() would otherwise recompute per call: the
+  // zero-mean correlation reference and the raw reference energy.
+  centered_ref_ = sig::make_centered_ref(reference_);
+  for (const auto& v : reference_) ref_energy_ += std::norm(v);
 }
 
 double PreambleProcessor::regress(const sig::IqWaveform& rx, std::size_t offset, Complex& a,
-                                  Complex& b, Complex& c) const {
+                                  Complex& b, Complex& c, PreambleWorkspace& ws) const {
   const std::size_t k = reference_.size();
   if (offset + k > rx.size()) return 1.0;
-  linalg::ComplexMatrix design(k, 3);
-  std::vector<Complex> y(k);
+  ws.design.resize(k, 3);
+  ws.y.resize(k);
   for (std::size_t i = 0; i < k; ++i) {
     const Complex x = rx[offset + i];
-    design(i, 0) = x;
-    design(i, 1) = std::conj(x);
-    design(i, 2) = Complex(1.0, 0.0);
-    y[i] = reference_[i];
+    ws.design(i, 0) = x;
+    ws.design(i, 1) = std::conj(x);
+    ws.design(i, 2) = Complex(1.0, 0.0);
+    ws.y[i] = reference_[i];
   }
-  std::vector<Complex> sol;
+  std::span<const Complex> sol;
   try {
-    sol = linalg::solve_least_squares(design, y);
+    sol = linalg::solve_least_squares_into(ws.design, std::span<const Complex>(ws.y), ws.ls);
   } catch (const PreconditionError&) {
     // X and conj(X) become linearly dependent when the signal is confined
     // to one polarization axis (single-channel baselines); refit without
     // the I/Q-imbalance term.
-    linalg::ComplexMatrix reduced(k, 2);
+    ws.reduced.resize(k, 2);
     for (std::size_t i = 0; i < k; ++i) {
-      reduced(i, 0) = design(i, 0);
-      reduced(i, 1) = Complex(1.0, 0.0);
+      ws.reduced(i, 0) = ws.design(i, 0);
+      ws.reduced(i, 1) = Complex(1.0, 0.0);
     }
-    std::vector<Complex> sol2;
+    std::span<const Complex> sol2;
     try {
-      sol2 = linalg::solve_least_squares(reduced, y);
+      sol2 = linalg::solve_least_squares_into(ws.reduced, std::span<const Complex>(ws.y), ws.ls);
     } catch (const PreconditionError&) {
       return 1.0;  // fully degenerate window (e.g. all-zero signal)
     }
     a = sol2[0];
     b = Complex{};
     c = sol2[1];
-    double ref_energy2 = 0.0;
-    for (const auto& v : reference_) ref_energy2 += std::norm(v);
-    if (ref_energy2 == 0.0) return 1.0;
-    return linalg::residual_norm(reduced, sol2, y) / std::sqrt(ref_energy2);
+    if (ref_energy_ == 0.0) return 1.0;
+    return linalg::residual_norm(ws.reduced, sol2, std::span<const Complex>(ws.y)) /
+           std::sqrt(ref_energy_);
   }
   a = sol[0];
   b = sol[1];
   c = sol[2];
-  double ref_energy = 0.0;
-  for (const auto& v : reference_) ref_energy += std::norm(v);
-  if (ref_energy == 0.0) return 1.0;
-  const double resid = linalg::residual_norm(design, sol, y);
-  return resid / std::sqrt(ref_energy);
+  if (ref_energy_ == 0.0) return 1.0;
+  const double resid = linalg::residual_norm(ws.design, sol, std::span<const Complex>(ws.y));
+  return resid / std::sqrt(ref_energy_);
 }
 
 PreambleDetection PreambleProcessor::detect(const sig::IqWaveform& rx,
                                             std::size_t search_limit) const {
+  PreambleWorkspace ws;
+  return detect(rx, search_limit, ws);
+}
+
+PreambleDetection PreambleProcessor::detect(const sig::IqWaveform& rx, std::size_t search_limit,
+                                            PreambleWorkspace& ws) const {
   RT_ENSURE(rx.sample_rate_hz == p_.sample_rate_hz,
             "received waveform sample rate does not match the PHY parameters");
   PreambleDetection det;
@@ -91,7 +98,8 @@ PreambleDetection PreambleProcessor::detect(const sig::IqWaveform& rx,
     const std::size_t needed = search_limit + reference_.size();
     haystack = haystack.subspan(0, std::min(haystack.size(), needed));
   }
-  const auto corr = sig::sliding_correlation_centered(haystack, reference_);
+  sig::sliding_correlation_centered_into(haystack, centered_ref_, ws.corr_scratch, ws.corr);
+  const auto& corr = ws.corr;
   if (corr.empty()) return det;
   std::size_t coarse = 0;
   for (std::size_t i = 1; i < corr.size(); ++i)
@@ -105,7 +113,7 @@ PreambleDetection PreambleProcessor::detect(const sig::IqWaveform& rx,
     Complex a;
     Complex b;
     Complex c;
-    const double r = regress(rx, t, a, b, c);
+    const double r = regress(rx, t, a, b, c, ws);
     if (r < best_resid) {
       best_resid = r;
       det.start_sample = t;
@@ -126,15 +134,22 @@ PreambleDetection PreambleProcessor::detect(const sig::IqWaveform& rx,
 
 sig::IqWaveform PreambleProcessor::correct(const sig::IqWaveform& rx,
                                            const PreambleDetection& det) const {
+  sig::IqWaveform out = rx;
+  correct_in_place(out, det);
+  return out;
+}
+
+void PreambleProcessor::correct_in_place(sig::IqWaveform& rx,
+                                         const PreambleDetection& det) const {
   RT_ENSURE(rx.sample_rate_hz == p_.sample_rate_hz,
             "received waveform sample rate does not match the PHY parameters");
   RT_DCHECK_FINITE(det.a);
   RT_DCHECK_FINITE(det.b);
   RT_DCHECK_FINITE(det.c);
-  sig::IqWaveform out(rx.sample_rate_hz, rx.size());
-  for (std::size_t i = 0; i < rx.size(); ++i)
-    out[i] = det.a * rx[i] + det.b * std::conj(rx[i]) + det.c;
-  return out;
+  for (std::size_t i = 0; i < rx.size(); ++i) {
+    const Complex x = rx[i];
+    rx[i] = det.a * x + det.b * std::conj(x) + det.c;
+  }
 }
 
 }  // namespace rt::phy

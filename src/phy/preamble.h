@@ -17,9 +17,11 @@
 #include <cstddef>
 #include <vector>
 
+#include "linalg/least_squares.h"
 #include "phy/constellation.h"
 #include "phy/frame.h"
 #include "phy/params.h"
+#include "signal/correlate.h"
 #include "signal/waveform.h"
 
 namespace rt::phy {
@@ -34,6 +36,17 @@ struct PreambleDetection {
   double correlation_peak = 0.0;    ///< centred normalized correlation at t0
 };
 
+/// Reusable scratch for PreambleProcessor::detect(). Every buffer is fully
+/// overwritten per call, so one workspace can serve any number of packets.
+struct PreambleWorkspace {
+  std::vector<double> corr;            ///< sliding correlation output
+  sig::SlidingScratch corr_scratch;    ///< prefix sums for the correlation
+  linalg::ComplexMatrix design;        ///< k x 3 widely-linear design
+  linalg::ComplexMatrix reduced;       ///< k x 2 single-channel fallback
+  std::vector<Complex> y;              ///< regression target (the reference)
+  linalg::LsWorkspace<Complex> ls;     ///< QR solve scratch
+};
+
 class PreambleProcessor {
  public:
   /// Builds the offline reference by synthesizing the standard preamble
@@ -46,10 +59,19 @@ class PreambleProcessor {
   [[nodiscard]] PreambleDetection detect(const sig::IqWaveform& rx,
                                          std::size_t search_limit = 0) const;
 
+  /// Workspace form of detect(): bit-identical result, zero steady-state
+  /// allocations once `ws` has warmed up.
+  [[nodiscard]] PreambleDetection detect(const sig::IqWaveform& rx, std::size_t search_limit,
+                                         PreambleWorkspace& ws) const;
+
   /// Applies the regression coefficients: y[i] = a x[i] + b conj(x[i]) + c,
   /// mapping the received packet into the rotation-free reference frame.
   [[nodiscard]] sig::IqWaveform correct(const sig::IqWaveform& rx,
                                         const PreambleDetection& det) const;
+
+  /// In-place form of correct(): rewrites `rx` sample by sample instead of
+  /// copying the whole packet waveform.
+  void correct_in_place(sig::IqWaveform& rx, const PreambleDetection& det) const;
 
   /// Residual threshold above which detect() reports not-found.
   [[nodiscard]] double detection_threshold() const { return threshold_; }
@@ -65,10 +87,12 @@ class PreambleProcessor {
   /// Solves the (a, b, c) regression of the reference onto rx at `offset`;
   /// returns the normalized residual.
   [[nodiscard]] double regress(const sig::IqWaveform& rx, std::size_t offset, Complex& a,
-                               Complex& b, Complex& c) const;
+                               Complex& b, Complex& c, PreambleWorkspace& ws) const;
 
   PhyParams p_;
   std::vector<Complex> reference_;
+  sig::CenteredRef centered_ref_;  ///< zero-mean reference + energy, cached
+  double ref_energy_ = 0.0;        ///< sum |reference_|^2 (uncentred)
   double threshold_ = 0.35;
   double corr_threshold_ = 0.30;
 };

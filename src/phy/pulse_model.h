@@ -30,15 +30,27 @@ using WaveformSource =
 
 class PulseBank {
  public:
+  /// Empty bank for workspace reuse; call resize() before use.
+  PulseBank() = default;
+
   /// `modules` = L (I only) or 2L (I+Q); `entries` = 2^V; `pulse_len` in
   /// samples (W * fs).
-  PulseBank(int modules, int entries, std::size_t pulse_len)
-      : modules_(modules),
-        entries_(entries),
-        pulse_len_(pulse_len),
-        pulses_(static_cast<std::size_t>(modules) * static_cast<std::size_t>(entries),
-                std::vector<Complex>(pulse_len)) {
+  PulseBank(int modules, int entries, std::size_t pulse_len) {
+    resize(modules, entries, pulse_len);
+  }
+
+  /// Reshapes the bank and zero-fills every pulse, reusing inner buffer
+  /// capacity so a workspace-held bank stops allocating after warm-up.
+  /// Also drops any pixel gains (a resized bank is untrained).
+  void resize(int modules, int entries, std::size_t pulse_len) {
     RT_ENSURE(modules >= 1 && entries >= 1 && pulse_len >= 1, "bad pulse bank dimensions");
+    modules_ = modules;
+    entries_ = entries;
+    pulse_len_ = pulse_len;
+    pulses_.resize(static_cast<std::size_t>(modules) * static_cast<std::size_t>(entries));
+    for (auto& p : pulses_) p.assign(pulse_len, Complex{});
+    pixel_gains_.clear();
+    bits_per_axis_ = 0;
   }
 
   [[nodiscard]] int modules() const { return modules_; }
@@ -54,6 +66,12 @@ class PulseBank {
     pulses_[index(module_global, history)] = std::move(pulse);
   }
 
+  /// Mutable in-place access for trainers that write templates directly
+  /// into the bank instead of building and moving a temporary.
+  [[nodiscard]] std::span<Complex> pulse_mut(int module_global, unsigned history) {
+    return pulses_[index(module_global, history)];
+  }
+
   /// Applies a complex correction (e.g. residual rotation) to every entry.
   void scale(Complex factor) {
     for (auto& p : pulses_)
@@ -65,11 +83,22 @@ class PulseBank {
   /// assumption). Defaults to 1 for every pixel; the equalizer multiplies
   /// each weight pixel's area by its gain.
   void set_pixel_gains(std::vector<Complex> gains, int bits_per_axis) {
+    set_pixel_gains(std::span<const Complex>(gains), bits_per_axis);
+  }
+
+  /// Span form: copies into the bank's own storage (capacity reused).
+  void set_pixel_gains(std::span<const Complex> gains, int bits_per_axis) {
     RT_ENSURE(gains.size() ==
                   static_cast<std::size_t>(modules_) * static_cast<std::size_t>(bits_per_axis),
               "one gain per (module, weight pixel) required");
-    pixel_gains_ = std::move(gains);
+    pixel_gains_.assign(gains.begin(), gains.end());
     bits_per_axis_ = bits_per_axis;
+  }
+
+  /// Reverts to the unity-gain default (all pixels identical).
+  void clear_pixel_gains() {
+    pixel_gains_.clear();
+    bits_per_axis_ = 0;
   }
 
   [[nodiscard]] Complex pixel_gain(int module_global, int weight_index) const {
@@ -89,9 +118,9 @@ class PulseBank {
     return static_cast<std::size_t>(module_global) * static_cast<std::size_t>(entries_) + history;
   }
 
-  int modules_;
-  int entries_;
-  std::size_t pulse_len_;
+  int modules_ = 0;
+  int entries_ = 0;
+  std::size_t pulse_len_ = 0;
   std::vector<std::vector<Complex>> pulses_;
   std::vector<Complex> pixel_gains_;  ///< empty = all unity
   int bits_per_axis_ = 0;

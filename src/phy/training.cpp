@@ -70,6 +70,32 @@ OfflineModel OfflineTrainer::train_from_banks(const PhyParams& params,
 PulseBank OnlineTrainer::train(const PhyParams& params, const OfflineModel& model,
                                const FrameLayout& layout, const sig::IqWaveform& corrected_rx,
                                std::size_t frame_start, double ridge) {
+  TrainingWorkspace ws;
+  PulseBank bank;
+  train_into(params, model, layout, corrected_rx, frame_start, bank, ws, ridge);
+  return bank;
+}
+
+namespace {
+
+/// Recomputes the cached training / pixel schedules when the geometry
+/// changed since the last packet (never in a steady-state sweep).
+void refresh_schedules(const PhyParams& params, const FrameLayout& layout,
+                       TrainingWorkspace& ws) {
+  if (ws.schedule_valid && ws.schedule_params == params && ws.schedule_layout == layout) return;
+  ws.schedule = training_schedule(params, layout);
+  ws.pixel_schedule = pixel_training_schedule(params, layout);
+  ws.schedule_params = params;
+  ws.schedule_layout = layout;
+  ws.schedule_valid = true;
+}
+
+}  // namespace
+
+void OnlineTrainer::train_into(const PhyParams& params, const OfflineModel& model,
+                               const FrameLayout& layout, const sig::IqWaveform& corrected_rx,
+                               std::size_t frame_start, PulseBank& bank, TrainingWorkspace& ws,
+                               double ridge) {
   RT_ENSURE(ridge >= 0.0, "ridge weight cannot be negative");
   const int l = params.dsm_order;
   const int modules = params.use_q_channel ? 2 * l : l;
@@ -89,17 +115,20 @@ PulseBank OnlineTrainer::train(const PhyParams& params, const OfflineModel& mode
   const std::size_t unknowns = static_cast<std::size_t>(modules) * static_cast<std::size_t>(s_rank);
   // Ridge regularization: stack sqrt(lambda) I under the design matrix so
   // the QR solve minimizes ||A g - b||^2 + lambda ||g||^2.
-  linalg::RealMatrix a(n + unknowns, unknowns);
-  std::vector<double> b_re(n + unknowns, 0.0);
-  std::vector<double> b_im(n + unknowns, 0.0);
+  auto& a = ws.a;
+  a.resize(n + unknowns, unknowns);
+  ws.b_re.assign(n + unknowns, 0.0);
+  ws.b_im.assign(n + unknowns, 0.0);
+  auto& b_re = ws.b_re;
+  auto& b_im = ws.b_im;
   for (std::size_t i = 0; i < n; ++i) {
     const auto v = corrected_rx[region_start + i];
     b_re[i] = v.real();
     b_im[i] = v.imag();
   }
 
-  const auto schedule = training_schedule(params, layout);
-  for (const auto& tf : schedule) {
+  refresh_schedules(params, layout, ws);
+  for (const auto& tf : ws.schedule) {
     const std::size_t off =
         static_cast<std::size_t>(tf.slot - layout.training_begin()) * t_samps;
     for (int s = 0; s < s_rank; ++s) {
@@ -131,43 +160,51 @@ PulseBank OnlineTrainer::train(const PhyParams& params, const OfflineModel& mode
     }
   }
 
-  // A is real; solve the complex fit as two real least-squares problems.
-  const auto qr = linalg::qr_decompose(a);
-  const auto solve = [&](std::span<const double> rhs) {
-    std::vector<double> y(a.cols());
-    for (std::size_t j = 0; j < a.cols(); ++j) y[j] = linalg::dot<double>(qr.q.col(j), rhs);
-    return linalg::back_substitute(qr.r, std::span<const double>(y));
-  };
-  const auto g_re = solve(b_re);
-  const auto g_im = solve(b_im);
+  // A is real; solve the complex fit as two real least-squares problems
+  // off one QR decomposition.
+  linalg::qr_decompose_into(a, ws.ls);
+  const auto re_sol = linalg::solve_after_qr(std::span<const double>(b_re), ws.ls);
+  ws.g_re.assign(re_sol.begin(), re_sol.end());
+  const auto im_sol = linalg::solve_after_qr(std::span<const double>(b_im), ws.ls);
+  ws.g_im.assign(im_sol.begin(), im_sol.end());
+  const auto& g_re = ws.g_re;
+  const auto& g_im = ws.g_im;
   RT_DCHECK_FINITE(g_re);
   RT_DCHECK_FINITE(g_im);
 
-  PulseBank bank(modules, params.fingerprint_entries(), pulse_len);
+  // resize() zero-fills every template, so key 0 (the identically-zero
+  // template) needs no write and the others accumulate from zero exactly
+  // as the fresh-vector path did.
+  bank.resize(modules, params.fingerprint_entries(), pulse_len);
   for (int m = 0; m < modules; ++m) {
-    for (int key = 0; key < params.fingerprint_entries(); ++key) {
-      std::vector<Complex> pulse(pulse_len);
-      if (key != 0) {  // key 0 is the identically-zero template
-        for (int s = 0; s < s_rank; ++s) {
-          const std::size_t u = static_cast<std::size_t>(m) * s_rank + s;
-          const Complex gamma(g_re[u], g_im[u]);
-          const std::size_t key_base = static_cast<std::size_t>(key) * pulse_len;
-          for (std::size_t k = 0; k < pulse_len; ++k)
-            pulse[k] += gamma * model.bases(key_base + k, static_cast<std::size_t>(s));
-        }
+    for (int key = 1; key < params.fingerprint_entries(); ++key) {
+      const auto pulse = bank.pulse_mut(m, narrow_cast<unsigned>(key));
+      for (int s = 0; s < s_rank; ++s) {
+        const std::size_t u = static_cast<std::size_t>(m) * s_rank + s;
+        const Complex gamma(g_re[u], g_im[u]);
+        const std::size_t key_base = static_cast<std::size_t>(key) * pulse_len;
+        for (std::size_t k = 0; k < pulse_len; ++k)
+          pulse[k] += gamma * model.bases(key_base + k, static_cast<std::size_t>(s));
       }
-      bank.set_pulse(m, narrow_cast<unsigned>(key), std::move(pulse));
     }
   }
 
   if (layout.pixel_rounds > 0)
-    calibrate_pixel_gains(params, layout, corrected_rx, frame_start, bank);
-  return bank;
+    calibrate_pixel_gains_into(params, layout, corrected_rx, frame_start, bank, ws);
 }
 
 void OnlineTrainer::calibrate_pixel_gains(const PhyParams& params, const FrameLayout& layout,
                                           const sig::IqWaveform& corrected_rx,
                                           std::size_t frame_start, PulseBank& bank) {
+  TrainingWorkspace ws;
+  calibrate_pixel_gains_into(params, layout, corrected_rx, frame_start, bank, ws);
+}
+
+void OnlineTrainer::calibrate_pixel_gains_into(const PhyParams& params,
+                                               const FrameLayout& layout,
+                                               const sig::IqWaveform& corrected_rx,
+                                               std::size_t frame_start, PulseBank& bank,
+                                               TrainingWorkspace& ws) {
   // Second LS stage over the pixel-calibration rounds: each weight pixel's
   // waveform is g_{m,w} * area_w * T_m[key], with complex gains g as the
   // unknowns. The single-pixel firing structure of the rounds makes the
@@ -193,15 +230,17 @@ void OnlineTrainer::calibrate_pixel_gains(const PhyParams& params, const FrameLa
   // are complex-proportional.
   const std::size_t unknowns =
       static_cast<std::size_t>(modules) * static_cast<std::size_t>(bits);
-  linalg::RealMatrix a(2 * n, unknowns);
-  std::vector<double> b(2 * n);
+  auto& a = ws.pixel_a;
+  a.resize(2 * n, unknowns);
+  auto& b = ws.pixel_b;
+  b.assign(2 * n, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
     b[i] = corrected_rx[region_start + i].real();
     b[n + i] = corrected_rx[region_start + i].imag();
   }
 
-  const auto schedule = pixel_training_schedule(params, layout);
-  for (const auto& pc : schedule) {
+  refresh_schedules(params, layout, ws);
+  for (const auto& pc : ws.pixel_schedule) {
     const std::size_t off =
         static_cast<std::size_t>(pc.slot - layout.pixel_begin()) * t_samps;
     const std::size_t u =
@@ -218,11 +257,11 @@ void OnlineTrainer::calibrate_pixel_gains(const PhyParams& params, const FrameLa
   }
 
   try {
-    const auto gains = linalg::solve_least_squares(a, std::span<const double>(b));
+    const auto gains = linalg::solve_least_squares_into(a, std::span<const double>(b), ws.ls);
     RT_DCHECK_FINITE(gains);
-    std::vector<Complex> cg(gains.size());
-    for (std::size_t i = 0; i < gains.size(); ++i) cg[i] = Complex(gains[i], 0.0);
-    bank.set_pixel_gains(std::move(cg), bits);
+    ws.pixel_gains.resize(gains.size());
+    for (std::size_t i = 0; i < gains.size(); ++i) ws.pixel_gains[i] = Complex(gains[i], 0.0);
+    bank.set_pixel_gains(std::span<const Complex>(ws.pixel_gains), bits);
   } catch (const PreconditionError&) {
     // Degenerate calibration (e.g. a pixel never excited): keep unity
     // gains rather than fail the packet.

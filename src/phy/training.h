@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/narrow.h"
+#include "linalg/least_squares.h"
 #include "linalg/matrix.h"
 #include "phy/frame.h"
 #include "phy/params.h"
@@ -53,6 +54,28 @@ class OfflineTrainer {
                                                      std::span<const PulseBank> banks, int rank);
 };
 
+/// Reusable scratch for the per-packet online training solve. The
+/// training/pixel schedules are pure functions of (PhyParams, FrameLayout)
+/// and are cached until those change; every other buffer is fully
+/// overwritten per packet.
+struct TrainingWorkspace {
+  std::vector<TrainingFiring> schedule;
+  std::vector<PixelTrainingCycle> pixel_schedule;
+  bool schedule_valid = false;
+  PhyParams schedule_params;
+  FrameLayout schedule_layout;
+
+  linalg::RealMatrix a;               ///< (n + unknowns) x unknowns design
+  std::vector<double> b_re;           ///< real part of the rhs
+  std::vector<double> b_im;           ///< imaginary part of the rhs
+  linalg::LsWorkspace<double> ls;     ///< QR solve scratch
+  std::vector<double> g_re;           ///< solved coefficients (real)
+  std::vector<double> g_im;           ///< solved coefficients (imag)
+  linalg::RealMatrix pixel_a;         ///< pixel-calibration design
+  std::vector<double> pixel_b;        ///< pixel-calibration rhs
+  std::vector<Complex> pixel_gains;   ///< solved per-pixel gains
+};
+
 class OnlineTrainer {
  public:
   /// Fits the per-module complex basis coefficients to the (rotation-
@@ -70,11 +93,24 @@ class OnlineTrainer {
                                        const sig::IqWaveform& corrected_rx,
                                        std::size_t frame_start, double ridge = 1e-4);
 
+  /// Workspace form of train(): resizes and fills `bank` in place,
+  /// reusing the workspace buffers. Bit-identical to train().
+  static void train_into(const PhyParams& params, const OfflineModel& model,
+                         const FrameLayout& layout, const sig::IqWaveform& corrected_rx,
+                         std::size_t frame_start, PulseBank& bank, TrainingWorkspace& ws,
+                         double ridge = 1e-4);
+
   /// Second-stage per-pixel gain estimation from the calibration rounds
   /// (runs automatically from train() when the frame carries them).
   static void calibrate_pixel_gains(const PhyParams& params, const FrameLayout& layout,
                                     const sig::IqWaveform& corrected_rx,
                                     std::size_t frame_start, PulseBank& bank);
+
+  /// Workspace form of calibrate_pixel_gains().
+  static void calibrate_pixel_gains_into(const PhyParams& params, const FrameLayout& layout,
+                                         const sig::IqWaveform& corrected_rx,
+                                         std::size_t frame_start, PulseBank& bank,
+                                         TrainingWorkspace& ws);
 };
 
 /// Builds a PulseBank straight from ground-truth fingerprints measured at

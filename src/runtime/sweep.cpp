@@ -55,9 +55,14 @@ SweepResult parallel_sweep(std::span<const SweepPoint> points, const SweepOption
     for (int begin = 0; begin < options.packets; begin += batch) {
       const int end = std::min(begin + batch, options.packets);
       auto task = [sim = sims[i], begin, end, payload] {
+        // One packet workspace per worker thread, reused across batches
+        // and sweeps: the packet pipeline stays allocation-free in steady
+        // state, and run_packet's outcome is independent of workspace
+        // history, so parallel results remain bit-identical to serial.
+        static thread_local sim::PacketWorkspace ws;
         sim::LinkStats stats;
         for (int p = begin; p < end; ++p) {
-          const auto outcome = sim->run_packet(static_cast<std::uint64_t>(p), payload);
+          const auto outcome = sim->run_packet(static_cast<std::uint64_t>(p), payload, ws);
           ++stats.packets;
           if (!outcome.preamble_found) ++stats.preamble_failures;
           stats.bit_errors += outcome.bit_errors;

@@ -33,6 +33,68 @@ namespace rt::sig {
   return out;
 }
 
+/// A reference waveform pre-centred (zero mean) with its energy cached, so
+/// repeated correlations against the same reference skip the per-call
+/// centring pass. Build once with make_centered_ref().
+struct CenteredRef {
+  std::vector<Complex> ref;  ///< zero-mean reference samples
+  double energy = 0.0;       ///< sum |ref_i|^2 after centring
+};
+
+[[nodiscard]] inline CenteredRef make_centered_ref(std::span<const Complex> ref_in) {
+  CenteredRef out;
+  out.ref.assign(ref_in.begin(), ref_in.end());
+  if (out.ref.empty()) return out;
+  Complex ref_mean{};
+  for (const auto& r : out.ref) ref_mean += r;
+  ref_mean /= static_cast<double>(out.ref.size());
+  for (auto& r : out.ref) {
+    r -= ref_mean;
+    out.energy += std::norm(r);
+  }
+  return out;
+}
+
+/// Reusable prefix-sum scratch for sliding_correlation_centered_into().
+struct SlidingScratch {
+  std::vector<Complex> psum;
+  std::vector<double> penergy;
+};
+
+/// Workspace form of sliding_correlation_centered(): correlates a
+/// pre-centred reference against every alignment of `x`, writing into a
+/// caller-owned output buffer. Bit-identical to the allocating variant.
+inline void sliding_correlation_centered_into(std::span<const Complex> x,
+                                              const CenteredRef& cref, SlidingScratch& scratch,
+                                              std::vector<double>& out) {
+  const auto& ref = cref.ref;
+  if (ref.empty() || x.size() < ref.size()) {
+    out.clear();
+    return;
+  }
+  const std::size_t n = x.size() - ref.size() + 1;
+  out.assign(n, 0.0);
+  if (cref.energy == 0.0) return;
+
+  // Prefix sums for windowed mean/energy.
+  scratch.psum.assign(x.size() + 1, Complex{});
+  scratch.penergy.assign(x.size() + 1, 0.0);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    scratch.psum[i + 1] = scratch.psum[i] + x[i];
+    scratch.penergy[i + 1] = scratch.penergy[i] + std::norm(x[i]);
+  }
+  const auto k = ref.size();
+  for (std::size_t t = 0; t < n; ++t) {
+    Complex acc{};
+    for (std::size_t i = 0; i < k; ++i) acc += std::conj(ref[i]) * x[t + i];
+    const Complex wsum = scratch.psum[t + k] - scratch.psum[t];
+    const double wenergy = scratch.penergy[t + k] - scratch.penergy[t];
+    const double centred_energy = wenergy - std::norm(wsum) / static_cast<double>(k);
+    out[t] = centred_energy > 1e-300 ? std::abs(acc) / std::sqrt(cref.energy * centred_energy)
+                                     : 0.0;
+  }
+}
+
 /// Mean-invariant normalized correlation: both the reference and each
 /// window of `x` are centred before correlating, so a DC offset (the
 /// relaxed-pixel baseline in VLBC reception) cannot bias the peak. Using a
@@ -40,38 +102,10 @@ namespace rt::sig {
 /// the window energy is corrected via prefix sums.
 [[nodiscard]] inline std::vector<double> sliding_correlation_centered(
     std::span<const Complex> x, std::span<const Complex> ref_in) {
-  if (ref_in.empty() || x.size() < ref_in.size()) return {};
-  std::vector<Complex> ref(ref_in.begin(), ref_in.end());
-  Complex ref_mean{};
-  for (const auto& r : ref) ref_mean += r;
-  ref_mean /= static_cast<double>(ref.size());
-  double ref_energy = 0.0;
-  for (auto& r : ref) {
-    r -= ref_mean;
-    ref_energy += std::norm(r);
-  }
-  const std::size_t n = x.size() - ref.size() + 1;
-  std::vector<double> out(n, 0.0);
-  if (ref_energy == 0.0) return out;
-
-  // Prefix sums for windowed mean/energy.
-  std::vector<Complex> psum(x.size() + 1, Complex{});
-  std::vector<double> penergy(x.size() + 1, 0.0);
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    psum[i + 1] = psum[i] + x[i];
-    penergy[i + 1] = penergy[i] + std::norm(x[i]);
-  }
-  const auto k = ref.size();
-  for (std::size_t t = 0; t < n; ++t) {
-    Complex acc{};
-    for (std::size_t i = 0; i < k; ++i) acc += std::conj(ref[i]) * x[t + i];
-    const Complex wsum = psum[t + k] - psum[t];
-    const double wenergy = penergy[t + k] - penergy[t];
-    const double centred_energy =
-        wenergy - std::norm(wsum) / static_cast<double>(k);
-    out[t] = centred_energy > 1e-300 ? std::abs(acc) / std::sqrt(ref_energy * centred_energy)
-                                     : 0.0;
-  }
+  const CenteredRef cref = make_centered_ref(ref_in);
+  SlidingScratch scratch;
+  std::vector<double> out;
+  sliding_correlation_centered_into(x, cref, scratch, out);
   return out;
 }
 

@@ -36,6 +36,17 @@ class Scrambler {
     return out;
   }
 
+  /// In-place variant for caller-owned buffers (XOR is its own inverse, so
+  /// this both scrambles and descrambles). Same keystream as apply().
+  void apply_in_place(std::span<std::uint8_t> bits) const {
+    std::uint8_t state = seed_;
+    for (auto& b : bits) {
+      const std::uint8_t key = narrow_cast<std::uint8_t>(((state >> 6) ^ (state >> 3)) & 1U);
+      b = narrow_cast<std::uint8_t>((b & 1U) ^ key);
+      state = narrow_cast<std::uint8_t>(((state << 1) | key) & 0x7F);
+    }
+  }
+
  private:
   std::uint8_t seed_;
 };

@@ -1,11 +1,38 @@
 #include "sim/channel.h"
 
+#include <atomic>
+#include <utility>
+
 #include "common/error.h"
 #include "optics/polarization.h"
 #include "phy/frame.h"
 #include "signal/awgn.h"
 
 namespace rt::sim {
+
+std::uint64_t next_channel_id() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+void ChannelRealization::synthesize_into(std::span<const lcm::Firing> firings, double duration_s,
+                                         Rng* noise_rng, lcm::SynthScratch& scratch,
+                                         sig::IqWaveform& out) {
+  // reset() restores the as-constructed LC state, so a reused realization
+  // renders exactly what a freshly built tag would.
+  tag_.reset();
+  tag_.synthesize_into(firings, sample_rate_hz_, duration_s, scratch, out);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const double t = static_cast<double>(i) / sample_rate_hz_;
+    sig::Complex g = rot_ * mobility_.gain(t);
+    if (dynamics_.any()) {
+      g *= optics::roll_rotation(rt::deg_to_rad(dynamics_.roll_rate_deg_s) * t);
+      g *= std::max(0.05, 1.0 + dynamics_.gain_drift_per_s * t);
+    }
+    out[i] *= g;
+  }
+  if (sigma_ > 0.0 && noise_rng != nullptr) sig::add_noise_sigma(out, sigma_, *noise_rng);
+}
 
 namespace {
 
@@ -48,13 +75,17 @@ lcm::TagConfig Channel::posed_tag_config(const Pose& pose) const {
 }
 
 phy::WaveformSource Channel::noiseless_source_at(const Pose& pose) const {
-  const auto tag_cfg = posed_tag_config(pose);
-  const auto rot = optics::roll_rotation(pose.roll_rad);
-  const auto params = params_;
-  return [tag_cfg, rot, params](std::span<const lcm::Firing> firings, double duration) {
-    lcm::TagArray tag(tag_cfg);
-    auto w = tag.synthesize(firings, params.sample_rate_hz, duration);
-    for (auto& v : w.samples) v *= rot;
+  // A realization with unit mobility, frozen dynamics and zero noise
+  // multiplies every sample by exactly `rot` -- the original noiseless
+  // source arithmetic.
+  ChannelRealization real(posed_tag_config(pose), optics::roll_rotation(pose.roll_rad),
+                          params_.sample_rate_hz, MobilityScenario::none(), ChannelDynamics{},
+                          0.0, id_.value);
+  return [real = std::move(real)](std::span<const lcm::Firing> firings,
+                                  double duration) mutable {
+    lcm::SynthScratch scratch;
+    sig::IqWaveform w;
+    real.synthesize_into(firings, duration, nullptr, scratch, w);
     return w;
   };
 }
@@ -71,28 +102,18 @@ phy::WaveformSource Channel::source() {
 }
 
 phy::WaveformSource Channel::source_with(Rng& noise_rng) const {
-  const auto tag_cfg = posed_tag_config(cfg_.pose);
-  const auto rot = optics::roll_rotation(cfg_.pose.roll_rad);
-  const auto params = params_;
-  const auto mobility = cfg_.mobility;
-  const double sigma = sigma_;
-  const auto dynamics = cfg_.dynamics;
-  return [&noise_rng, tag_cfg, rot, params, mobility, dynamics, sigma](
-             std::span<const lcm::Firing> firings, double duration) {
-    lcm::TagArray tag(tag_cfg);
-    auto w = tag.synthesize(firings, params.sample_rate_hz, duration);
-    for (std::size_t i = 0; i < w.size(); ++i) {
-      const double t = static_cast<double>(i) / params.sample_rate_hz;
-      sig::Complex g = rot * mobility.gain(t);
-      if (dynamics.any()) {
-        g *= optics::roll_rotation(rt::deg_to_rad(dynamics.roll_rate_deg_s) * t);
-        g *= std::max(0.05, 1.0 + dynamics.gain_drift_per_s * t);
-      }
-      w[i] *= g;
-    }
-    if (sigma > 0.0) sig::add_noise_sigma(w, sigma, noise_rng);
+  return [&noise_rng, real = make_realization()](std::span<const lcm::Firing> firings,
+                                                 double duration) mutable {
+    lcm::SynthScratch scratch;
+    sig::IqWaveform w;
+    real.synthesize_into(firings, duration, &noise_rng, scratch, w);
     return w;
   };
+}
+
+ChannelRealization Channel::make_realization() const {
+  return {posed_tag_config(cfg_.pose), optics::roll_rotation(cfg_.pose.roll_rad),
+          params_.sample_rate_hz, cfg_.mobility, cfg_.dynamics, sigma_, id_.value};
 }
 
 }  // namespace rt::sim

@@ -50,6 +50,61 @@ struct ChannelConfig {
   }
 };
 
+/// Returns a process-unique channel identity (monotonic counter).
+[[nodiscard]] std::uint64_t next_channel_id();
+
+/// Copyable identity token: every copy (construction or assignment) draws a
+/// fresh id, so a workspace that cached a realization of channel X never
+/// mistakes a copied/reassigned channel for X.
+struct ChannelId {
+  ChannelId() : value(next_channel_id()) {}
+  ChannelId(const ChannelId&) : value(next_channel_id()) {}
+  ChannelId& operator=(const ChannelId&) {
+    value = next_channel_id();
+    return *this;
+  }
+  std::uint64_t value;
+};
+
+/// One reusable realization of a channel: the posed tag array plus the
+/// constant per-sample gain chain, bound into a stage object. Calling
+/// synthesize_into() resets the tag and renders a packet into a
+/// caller-owned waveform -- the allocation-free replacement for the
+/// std::function returned by Channel::source_with(). Build one via
+/// Channel::make_realization() and reuse it for every packet of that
+/// channel (it is bit-identical to a fresh source_with() call).
+class ChannelRealization {
+ public:
+  /// Renders `firings` over [0, duration_s) into `out` and adds AWGN drawn
+  /// from `noise_rng` (skipped when null or when the channel is noiseless).
+  void synthesize_into(std::span<const lcm::Firing> firings, double duration_s, Rng* noise_rng,
+                       lcm::SynthScratch& scratch, sig::IqWaveform& out);
+
+  /// Identity of the Channel this realization was built from.
+  [[nodiscard]] std::uint64_t channel_id() const { return channel_id_; }
+
+ private:
+  friend class Channel;
+  ChannelRealization(const lcm::TagConfig& posed_cfg, sig::Complex rot, double sample_rate_hz,
+                     MobilityScenario mobility, ChannelDynamics dynamics, double sigma,
+                     std::uint64_t channel_id)
+      : tag_(posed_cfg),
+        rot_(rot),
+        sample_rate_hz_(sample_rate_hz),
+        mobility_(mobility),
+        dynamics_(dynamics),
+        sigma_(sigma),
+        channel_id_(channel_id) {}
+
+  lcm::TagArray tag_;
+  sig::Complex rot_;
+  double sample_rate_hz_;
+  MobilityScenario mobility_;
+  ChannelDynamics dynamics_;
+  double sigma_;
+  std::uint64_t channel_id_;
+};
+
 class Channel {
  public:
   /// `tag_config` carries the tag hardware truth (heterogeneity seed, and
@@ -66,6 +121,18 @@ class Channel {
   /// (rt::split_seed) concurrent packets never share RNG state, which is
   /// what makes parallel sweeps bit-identical to serial ones.
   [[nodiscard]] phy::WaveformSource source_with(Rng& noise_rng) const;
+
+  /// Builds the reusable stage object equivalent of source_with(): one
+  /// posed tag array plus the gain chain, rendered through caller buffers.
+  [[nodiscard]] ChannelRealization make_realization() const;
+
+  /// Identity for realization caching: stable for this object's lifetime,
+  /// distinct across channel instances (including copies).
+  [[nodiscard]] std::uint64_t id() const { return id_.value; }
+
+  /// The member noise stream advanced by source() (legacy serial path);
+  /// exposed so workspace callers can reproduce source()'s draw order.
+  [[nodiscard]] Rng& shared_noise_rng() { return noise_rng_; }
 
   /// Noise-free source at the same pose (offline training / oracle use).
   [[nodiscard]] phy::WaveformSource noiseless_source() const;
@@ -92,6 +159,7 @@ class Channel {
   double ref_power_ = 0.0;
   double sigma_ = 0.0;
   Rng noise_rng_;
+  ChannelId id_;
 };
 
 }  // namespace rt::sim

@@ -61,32 +61,43 @@ LinkSimulator::PacketOutcome LinkSimulator::send_packet(
     std::span<const std::uint8_t> payload_bits) {
   // Legacy serial path: padding and noise advance the member RNG streams,
   // so outcomes depend on call order. Order-independent runs go through
-  // run_packet instead.
-  return transmit(payload_bits, rng_, channel_.source());
+  // run_packet instead. The per-thread workspace keeps repeated sends on
+  // one simulator allocation-free after warm-up.
+  static thread_local PacketWorkspace ws;
+  auto out = transmit_into(payload_bits, rng_, &channel_.shared_noise_rng(), ws);
+  if (out.preamble_found)
+    out.received_bits.assign(ws.result.bits.begin(),
+                             ws.result.bits.begin() + static_cast<std::ptrdiff_t>(out.bits));
+  return out;
 }
 
-LinkSimulator::PacketOutcome LinkSimulator::transmit(std::span<const std::uint8_t> payload_bits,
-                                                     Rng& pad_rng,
-                                                     const phy::WaveformSource& source) const {
+LinkSimulator::PacketOutcome LinkSimulator::transmit_into(
+    std::span<const std::uint8_t> payload_bits, Rng& pad_rng, Rng* noise_rng,
+    PacketWorkspace& ws) const {
   RT_ENSURE(!payload_bits.empty(), "packets need a non-empty payload");
-  const auto pkt = modulator_.modulate(payload_bits);
+  modulator_.modulate_into(payload_bits, ws.tx, ws.schedule);
+  auto& pkt = ws.schedule;
 
   // Random pre-padding: the reader does not know when the packet starts.
+  // The shift happens in place; the next modulate_into() rebuilds the
+  // schedule from the cached prefix, so the offset never accumulates.
   const int pad_slots =
       opts_.max_pad_slots > 0 ? narrow_cast<int>(pad_rng.uniform_int(0, opts_.max_pad_slots)) : 0;
-  std::vector<lcm::Firing> shifted(pkt.firings.begin(), pkt.firings.end());
   const double pad_s = pad_slots * params_.slot_s;
-  for (auto& f : shifted) f.time_s += pad_s;
+  for (auto& f : pkt.firings) f.time_s += pad_s;
   const double duration = pad_s + pkt.duration_s + params_.symbol_duration_s();
 
-  const auto rx = source(shifted, duration);
+  if (!ws.channel || ws.channel->channel_id() != channel_.id())
+    ws.channel.emplace(channel_.make_realization());
+  ws.channel->synthesize_into(pkt.firings, duration, noise_rng, ws.synth, ws.rx);
 
   phy::DemodOptions dopts;
   dopts.online_training = opts_.online_training && !opts_.oracle_templates;
   dopts.oracle = opts_.oracle_templates ? &*oracle_ : nullptr;
   dopts.search_limit = static_cast<std::size_t>(opts_.max_pad_slots + 2) *
                        params_.samples_per_slot();
-  const auto res = demodulator_.demodulate(rx, pkt.layout.payload_slots, dopts);
+  demodulator_.demodulate_into(ws.rx, pkt.layout.payload_slots, dopts, ws.demod, ws.result);
+  const auto& res = ws.result;
 
   PacketOutcome out;
   out.bits = payload_bits.size();
@@ -95,9 +106,10 @@ LinkSimulator::PacketOutcome LinkSimulator::transmit(std::span<const std::uint8_
     out.bit_errors = payload_bits.size();  // whole packet lost
     return out;
   }
+  RT_ENSURE(res.bits.size() >= payload_bits.size(),
+            "demodulator returned fewer bits than the transmitted payload");
   for (std::size_t i = 0; i < payload_bits.size(); ++i)
     out.bit_errors += (res.bits[i] != payload_bits[i]) ? 1 : 0;
-  out.received_bits.assign(res.bits.begin(), res.bits.begin() + payload_bits.size());
   return out;
 }
 
@@ -115,19 +127,32 @@ constexpr std::uint64_t kNoiseStream = 2;
 
 LinkSimulator::PacketOutcome LinkSimulator::run_packet(std::uint64_t packet_index,
                                                        std::size_t payload_bytes) const {
+  PacketWorkspace ws;
+  auto out = run_packet(packet_index, payload_bytes, ws);
+  if (out.preamble_found)
+    out.received_bits.assign(ws.result.bits.begin(),
+                             ws.result.bits.begin() + static_cast<std::ptrdiff_t>(out.bits));
+  return out;
+}
+
+LinkSimulator::PacketOutcome LinkSimulator::run_packet(std::uint64_t packet_index,
+                                                       std::size_t payload_bytes,
+                                                       PacketWorkspace& ws) const {
   RT_ENSURE(payload_bytes >= 1, "need at least one payload byte");
   Rng payload_rng(split_seed(opts_.seed, packet_index, kPayloadStream));
   Rng pad_rng(split_seed(opts_.seed, packet_index, kPadStream));
   Rng noise_rng(split_seed(channel_.config().noise_seed, packet_index, kNoiseStream));
-  const auto payload = payload_rng.bits(payload_bytes * 8);
-  return transmit(payload, pad_rng, channel_.source_with(noise_rng));
+  ws.payload.resize(payload_bytes * 8);
+  payload_rng.fill_bits(ws.payload);
+  return transmit_into(ws.payload, pad_rng, &noise_rng, ws);
 }
 
 LinkStats LinkSimulator::run(int packets, std::size_t payload_bytes) const {
   RT_ENSURE(packets >= 1, "need at least one packet");
   LinkStats stats;
+  PacketWorkspace ws;
   for (int p = 0; p < packets; ++p) {
-    const auto outcome = run_packet(static_cast<std::uint64_t>(p), payload_bytes);
+    const auto outcome = run_packet(static_cast<std::uint64_t>(p), payload_bytes, ws);
     ++stats.packets;
     if (!outcome.preamble_found) ++stats.preamble_failures;
     stats.bit_errors += outcome.bit_errors;

@@ -11,6 +11,7 @@
 #include "phy/demodulator.h"
 #include "phy/modulator.h"
 #include "sim/channel.h"
+#include "sim/packet_workspace.h"
 
 namespace rt::sim {
 
@@ -91,9 +92,20 @@ class LinkSimulator {
   [[nodiscard]] PacketOutcome run_packet(std::uint64_t packet_index,
                                          std::size_t payload_bytes) const;
 
+  /// Workspace form of run_packet(): the entire TX -> channel -> RX
+  /// pipeline runs through `ws`'s preallocated buffers, so the steady
+  /// state (after one warm-up packet) performs no heap allocations. The
+  /// outcome is bit-identical to run_packet() regardless of the
+  /// workspace's prior contents, EXCEPT that `received_bits` is left empty
+  /// to stay allocation-free -- the demodulated payload remains readable
+  /// in `ws.result.bits`. Workspaces must not be shared across threads.
+  [[nodiscard]] PacketOutcome run_packet(std::uint64_t packet_index, std::size_t payload_bytes,
+                                         PacketWorkspace& ws) const;
+
   /// Paper methodology: `packets` packets of `payload_bytes` random bytes.
   /// Equivalent to merging run_packet(0..packets-1) in order, so a serial
   /// run is bit-identical to any parallel partition of the same indices.
+  /// Internally reuses one PacketWorkspace across all packets.
   [[nodiscard]] LinkStats run(int packets, std::size_t payload_bytes = 128) const;
 
   [[nodiscard]] const Channel& channel() const { return channel_; }
@@ -101,8 +113,14 @@ class LinkSimulator {
   [[nodiscard]] double snr_db() const { return channel_.snr_db(); }
 
  private:
-  [[nodiscard]] PacketOutcome transmit(std::span<const std::uint8_t> payload_bits, Rng& pad_rng,
-                                       const phy::WaveformSource& source) const;
+  /// Runs one packet through the workspace pipeline: modulate into
+  /// ws.schedule, pad the schedule in place, render through the cached
+  /// channel realization into ws.rx, demodulate in place. `noise_rng` may
+  /// be null for a noiseless shot. Does not fill `received_bits` (see
+  /// run_packet workspace overload).
+  [[nodiscard]] PacketOutcome transmit_into(std::span<const std::uint8_t> payload_bits,
+                                            Rng& pad_rng, Rng* noise_rng,
+                                            PacketWorkspace& ws) const;
 
   phy::PhyParams params_;
   Channel channel_;
