@@ -31,7 +31,13 @@ int main() {
   opt.min_symbol_duration_s = 0.0;  // show the full map incl. bad corners
   opt.distance.exhaustive_bit_limit = 0;
   opt.distance.random_words = 4;
-  const auto res = rt::analysis::optimize_parameters(table, rate, opt);
+  rt::obs::Recorder obs_rec;
+  const auto res = [&] {
+    const rt::obs::ScopedBind obs_bind(obs_rec);
+    RT_TRACE_SPAN("threshold_map");
+    return rt::analysis::optimize_parameters(table, rate, opt);
+  }();
+  report.add_recorder(obs_rec);
 
   std::printf("\nrelative threshold (dB, 0 = best) at %.0f bps\n", rate);
   std::printf("%-8s", "L \\ P");

@@ -31,8 +31,11 @@ int main() {
   const std::vector<int> tag_counts = {1, 2, 4, 8, 16, 32, 64, 100};
   std::printf("\n%-8s %-16s %-16s %-8s %-12s\n", "tags", "adaptive (Kbps)", "baseline (Kbps)",
               "gain", "disc rounds");
+  rt::obs::Recorder obs_rec;
+  const rt::obs::ScopedBind obs_bind(obs_rec);
   std::vector<double> gains;
   for (const int n : tag_counts) {
+    RT_TRACE_SPAN("rate_adaptation_trials");
     const auto r = rt::mac::rate_adaptation_study(n, table, model, cfg, rng);
     gains.push_back(r.gain());
     report.add_value("adaptive_bps", n, r.mean_adaptive_bps);
@@ -50,6 +53,7 @@ int main() {
   const bool ok = gain4 > 1.0 && gain100 > 2.0 && gain100 > gain4 && growing;
   report.add_scalar("gain_4_tags", gain4);
   report.add_scalar("gain_100_tags", gain100);
+  report.add_recorder(obs_rec);
   report.write();
   std::printf("shape check: gain(4)=%.2f > 1, gain(100)=%.2f >> gain(4), growing: %s\n", gain4,
               gain100, ok ? "yes" : "NO");

@@ -125,6 +125,12 @@ int main(int argc, char** argv) {
   std::printf("=== section 7.2.2 microbenchmarks: latency & power ===\n\n");
   rt::bench::BenchReport report("micro_latency_power");
 
+  // One recorder for the whole run: the structural section's modulate
+  // calls land in the report artifacts; the google-benchmark loops below
+  // keep recording into it for the end-of-run stage summary.
+  rt::obs::Recorder obs_rec;
+  const rt::obs::ScopedBind obs_bind(obs_rec);
+
   // Air-time latency budget (structural, from the frame layout).
   for (const auto& [name, p] :
        {std::pair{"8kbps", rt::phy::PhyParams::rate_8kbps()},
@@ -172,9 +178,14 @@ int main(int argc, char** argv) {
   }
   // Written before the timed loops so the structural results land even if
   // the google-benchmark pass is interrupted.
+  report.add_recorder(obs_rec);
   report.write();
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+#if RT_OBS_ENABLED
+  std::printf("\nreceiver-stage spans across the google-benchmark pass:\n");
+  rt::obs::print_stage_summary(stdout, obs_rec.metrics, obs_rec.trace.spans());
+#endif
   return 0;
 }

@@ -33,21 +33,27 @@ int main() {
   // The per-V characterizations and error studies are independent pure
   // functions -- fan them out on the pool.
   const std::vector<int> vs = {4, 6, 8, 10, 12, 14, 16};
-  rt::runtime::ThreadPool pool(rt::bench::bench_threads());
-  std::vector<std::future<rt::analysis::EmulationErrorResult>> futures;
-  for (const int v : vs) {
-    futures.push_back(pool.submit([v, kSlot, kFs, &reference, &opt] {
-      const auto table = rt::analysis::characterize_lcm(rt::lcm::LcTimings{}, kSlot, kFs, v);
-      return rt::analysis::emulation_error(table, reference, kFs, opt);
-    }));
-  }
+  rt::obs::Recorder obs_rec;
   std::vector<double> maxes;
   std::vector<double> avgs;
-  for (auto& f : futures) {
-    const auto e = f.get();
-    maxes.push_back(e.max_rel_error);
-    avgs.push_back(e.avg_rel_error);
+  {
+    const rt::obs::ScopedBind obs_bind(obs_rec);
+    RT_TRACE_SPAN("analysis_fanout");
+    rt::runtime::ThreadPool pool(rt::bench::bench_threads());
+    std::vector<std::future<rt::analysis::EmulationErrorResult>> futures;
+    for (const int v : vs) {
+      futures.push_back(pool.submit([v, kSlot, kFs, &reference, &opt] {
+        const auto table = rt::analysis::characterize_lcm(rt::lcm::LcTimings{}, kSlot, kFs, v);
+        return rt::analysis::emulation_error(table, reference, kFs, opt);
+      }));
+    }
+    for (auto& f : futures) {
+      const auto e = f.get();
+      maxes.push_back(e.max_rel_error);
+      avgs.push_back(e.avg_rel_error);
+    }
   }
+  report.add_recorder(obs_rec);
 
   std::printf("\n%-14s", "MLS Order (V)");
   for (const int v : vs) std::printf("%8d", v);

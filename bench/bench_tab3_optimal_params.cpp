@@ -35,19 +35,27 @@ int main() {
   // Each rate's grid optimization is an independent pure function -- fan
   // them out on the pool.
   const std::vector<double> rates = {1000.0, 4000.0, 8000.0, 12000.0, 16000.0};
-  rt::runtime::ThreadPool pool(rt::bench::bench_threads());
-  std::vector<std::future<rt::analysis::OptimizerResult>> futures;
-  for (const double r : rates)
-    futures.push_back(pool.submit([r, &table, &opt] {
-      return rt::analysis::optimize_parameters(table, r, opt);
-    }));
+  rt::obs::Recorder obs_rec;
+  std::vector<rt::analysis::OptimizerResult> results;
+  {
+    const rt::obs::ScopedBind obs_bind(obs_rec);
+    RT_TRACE_SPAN("analysis_fanout");
+    rt::runtime::ThreadPool pool(rt::bench::bench_threads());
+    std::vector<std::future<rt::analysis::OptimizerResult>> futures;
+    for (const double r : rates)
+      futures.push_back(pool.submit([r, &table, &opt] {
+        return rt::analysis::optimize_parameters(table, r, opt);
+      }));
+    for (auto& f : futures) results.push_back(f.get());
+  }
+  report.add_recorder(obs_rec);
 
   std::vector<double> ds;
   std::printf("\n%-18s", "Data rate (Kbps)");
   for (const double r : rates) std::printf("%10.0f", r / 1000.0);
   std::printf("\n%-18s", "D");
   for (std::size_t i = 0; i < rates.size(); ++i) {
-    const auto res = futures[i].get();
+    const auto& res = results[i];
     ds.push_back(res.best ? res.best->d : 0.0);
     if (res.best) {
       report.add_value("min_distance", rates[i], res.best->d);

@@ -22,6 +22,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/export.h"
 #include "runtime/sweep.h"
 #include "sim/link_sim.h"
 
@@ -168,8 +169,25 @@ class BenchReport {
   /// Records a named summary number (working range, gain, threshold...).
   void add_scalar(const std::string& key, double value) { scalars_.emplace_back(key, value); }
 
-  /// Accumulates engine wall time (summed across multiple sweeps).
-  void add_sweep(const runtime::SweepResult& r) { sweep_wall_s_ += r.wall_s; }
+  /// Accumulates engine wall time (summed across multiple sweeps) and, in
+  /// RT_OBS builds, the sweep's stage spans + metrics.
+  void add_sweep(const runtime::SweepResult& r) {
+    sweep_wall_s_ += r.wall_s;
+    obs_metrics_.merge(r.metrics);
+    obs_trace_.insert(obs_trace_.end(), r.trace.begin(), r.trace.end());
+  }
+
+  /// Folds a serial-path recorder (e.g. a PacketWorkspace's) into the
+  /// report. No-op unless built with RT_OBS=ON.
+  void add_recorder(const obs::Recorder& rec) {
+#if RT_OBS_ENABLED
+    obs_metrics_.merge(rec.metrics);
+    const auto spans = rec.trace.spans();
+    obs_trace_.insert(obs_trace_.end(), spans.begin(), spans.end());
+#else
+    static_cast<void>(rec);
+#endif
+  }
 
   /// Writes BENCH_<name>.json into the working directory.
   void write() const {
@@ -207,9 +225,26 @@ class BenchReport {
     f << (scalars_.empty() ? "}\n" : "\n  }\n");
     f << "}\n";
     std::printf("wrote %s (wall %.2fs, %u threads)\n", path.c_str(), wall_s, bench_threads());
+    write_obs_artifacts();
   }
 
  private:
+  /// RT_OBS builds: print the per-stage summary and write the
+  /// BENCH_<name>.trace.json / BENCH_<name>.metrics.json artifacts
+  /// (schemas in docs/TELEMETRY.md). No-op otherwise.
+  void write_obs_artifacts() const {
+    if constexpr (obs::kEnabled) {
+      if (obs_metrics_.empty() && obs_trace_.empty()) return;
+      obs::print_stage_summary(stdout, obs_metrics_, obs_trace_);
+      const std::string trace_path = "BENCH_" + name_ + ".trace.json";
+      const std::string metrics_path = "BENCH_" + name_ + ".metrics.json";
+      obs::write_chrome_trace(trace_path, obs_trace_);
+      obs::write_metrics_json(metrics_path, obs_metrics_);
+      std::printf("wrote %s + %s (open the trace at chrome://tracing)\n", trace_path.c_str(),
+                  metrics_path.c_str());
+    }
+  }
+
   [[nodiscard]] static std::string escape(const std::string& s) {
     std::string out;
     out.reserve(s.size());
@@ -225,6 +260,8 @@ class BenchReport {
   double sweep_wall_s_ = 0.0;
   std::vector<std::string> points_;
   std::vector<std::pair<std::string, double>> scalars_;
+  obs::MetricsRegistry obs_metrics_;       // stays empty unless RT_OBS=ON
+  std::vector<obs::SpanRecord> obs_trace_;  // stays empty unless RT_OBS=ON
 };
 
 }  // namespace rt::bench

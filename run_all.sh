@@ -2,17 +2,33 @@
 # Regenerates test_output.txt and bench_output.txt (the full verification
 # record referenced by EXPERIMENTS.md). Fails if any test or benchmark
 # fails: `tee` no longer swallows exit codes.
+#
+# Usage: run_all.sh [build-dir]   (default: build)
+#   Point it at an RT_OBS=ON tree (run_all.sh build-obs) and every bench
+#   additionally prints its per-stage wall-time summary and writes
+#   BENCH_*.trace.json / BENCH_*.metrics.json (see docs/TELEMETRY.md).
 set -euo pipefail
 cd "$(dirname "$0")"
 
-ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
+BUILD_DIR="${1:-build}"
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure 2>&1 | tee test_output.txt
 test "${PIPESTATUS[0]}" -eq 0
 
 : > bench_output.txt
 shopt -s nullglob
-for b in build/bench/bench_*; do
+for b in "$BUILD_DIR"/bench/bench_*; do
   if [ -x "$b" ] && [ -f "$b" ]; then
     "$b" 2>&1 | tee -a bench_output.txt
     test "${PIPESTATUS[0]}" -eq 0
   fi
 done
+
+# Surface the aggregate per-stage picture at the end of the record (the
+# summaries are emitted by the benches themselves in RT_OBS builds).
+if grep -q "stage " bench_output.txt 2>/dev/null; then
+  echo
+  echo "=== per-stage telemetry recorded (RT_OBS build) ==="
+  echo "trace/metrics artifacts: $(ls BENCH_*.trace.json 2>/dev/null | wc -l) trace file(s);"
+  echo "open any BENCH_*.trace.json at chrome://tracing or ui.perfetto.dev"
+fi

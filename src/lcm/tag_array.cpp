@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.h"
+
 namespace rt::lcm {
 
 namespace {
@@ -61,6 +63,7 @@ sig::IqWaveform TagArray::synthesize(std::span<const Firing> schedule, double fs
 
 void TagArray::synthesize_into(std::span<const Firing> schedule, double fs, double duration_s,
                                SynthScratch& scratch, sig::IqWaveform& out) {
+  RT_TRACE_SPAN("lc_synthesize");
   RT_ENSURE(fs > 0.0 && duration_s > 0.0, "sample rate and duration must be positive");
   RT_ENSURE(std::is_sorted(schedule.begin(), schedule.end(),
                            [](const Firing& a, const Firing& b) { return a.time_s < b.time_s; }),

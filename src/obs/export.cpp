@@ -1,0 +1,135 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <fstream>
+#include <map>
+#include <string_view>
+#include <vector>
+
+#include "common/error.h"
+
+namespace rt::obs {
+
+namespace {
+
+struct StageAgg {
+  std::uint64_t calls = 0;
+  std::int64_t total_ns = 0;
+  std::int64_t max_ns = 0;
+};
+
+/// Aggregates spans by name, preserving no particular order.
+std::map<std::string_view, StageAgg> aggregate(std::span<const SpanRecord> spans) {
+  std::map<std::string_view, StageAgg> agg;
+  for (const auto& s : spans) {
+    if (s.name == nullptr) continue;
+    auto& a = agg[s.name];
+    ++a.calls;
+    a.total_ns += s.dur_ns;
+    a.max_ns = std::max(a.max_ns, s.dur_ns);
+  }
+  return agg;
+}
+
+}  // namespace
+
+void write_chrome_trace(const std::string& path, std::span<const SpanRecord> spans) {
+  RT_ENSURE(!path.empty(), "trace output path must not be empty");
+  std::ofstream out(path, std::ios::trunc);
+  RT_ENSURE(out.good(), "failed to open trace output file");
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& s : spans) {
+    if (s.name == nullptr) continue;
+    if (!first) out << ",";
+    first = false;
+    // Complete ("X") events; chrome://tracing expects microsecond doubles.
+    out << "\n{\"name\":\"" << s.name << "\",\"cat\":\"rt\",\"ph\":\"X\",\"pid\":1,\"tid\":"
+        << s.tid << ",\"ts\":" << static_cast<double>(s.start_ns) / 1e3
+        << ",\"dur\":" << static_cast<double>(s.dur_ns) / 1e3 << ",\"args\":{\"depth\":"
+        << s.depth << "}}";
+  }
+  out << "\n]}\n";
+  RT_ENSURE(out.good(), "failed while writing trace output file");
+}
+
+void write_metrics_json(const std::string& path, const MetricsRegistry& m) {
+  RT_ENSURE(!path.empty(), "metrics output path must not be empty");
+  std::ofstream out(path, std::ios::trunc);
+  RT_ENSURE(out.good(), "failed to open metrics output file");
+  out << "{\n  \"schema\": \"rt-metrics-v1\",\n  \"counters\": {";
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    \"" << kCounterInfo[i].name
+        << "\": " << m.counters[i];
+  }
+  out << "\n  },\n  \"histograms\": {";
+  for (std::size_t i = 0; i < kNumHistograms; ++i) {
+    const auto& h = m.histograms[i];
+    out << (i == 0 ? "\n" : ",\n") << "    \"" << kHistogramInfo[i].name << "\": {\"unit\": \""
+        << kHistogramInfo[i].unit << "\", \"count\": " << h.count;
+    if (h.count > 0) out << ", \"min\": " << h.min << ", \"max\": " << h.max;
+    out << ", \"buckets\": [";
+    bool first = true;
+    for (int b = 0; b < HistogramData::kBuckets; ++b) {
+      const auto n = h.buckets[static_cast<std::size_t>(b)];
+      if (n == 0) continue;
+      if (!first) out << ", ";
+      first = false;
+      out << "[" << HistogramData::bucket_lower_bound(b) << ", " << n << "]";
+    }
+    out << "]}";
+  }
+  out << "\n  }\n}\n";
+  RT_ENSURE(out.good(), "failed while writing metrics output file");
+}
+
+void print_stage_summary(std::FILE* out, const MetricsRegistry& m,
+                         std::span<const SpanRecord> spans) {
+  RT_ENSURE(out != nullptr, "summary output stream must not be null");
+  if (spans.empty() && m.empty()) return;
+
+  if (!spans.empty()) {
+    const auto agg = aggregate(spans);
+    std::vector<std::pair<std::string_view, StageAgg>> rows(agg.begin(), agg.end());
+    std::sort(rows.begin(), rows.end(),
+              [](const auto& a, const auto& b) { return a.second.total_ns > b.second.total_ns; });
+    std::fprintf(out, "\n  %-18s %10s %12s %12s %12s\n", "stage", "calls", "total_ms",
+                 "mean_us", "max_us");
+    for (const auto& [name, a] : rows) {
+      std::fprintf(out, "  %-18.*s %10" PRIu64 " %12.3f %12.2f %12.2f\n",
+                   // rt-lint: narrowing-ok (span names are short string literals)
+                   static_cast<int>(name.size()), name.data(), a.calls,
+                   static_cast<double>(a.total_ns) / 1e6,
+                   static_cast<double>(a.total_ns) / 1e3 / static_cast<double>(a.calls),
+                   static_cast<double>(a.max_ns) / 1e3);
+    }
+  }
+
+  bool header = false;
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    if (m.counters[i] == 0) continue;
+    if (!header) {
+      std::fprintf(out, "\n  %-28s %14s  %s\n", "counter", "value", "unit");
+      header = true;
+    }
+    std::fprintf(out, "  %-28s %14" PRIu64 "  %s\n", kCounterInfo[i].name, m.counters[i],
+                 kCounterInfo[i].unit);
+  }
+
+  header = false;
+  for (std::size_t i = 0; i < kNumHistograms; ++i) {
+    const auto& h = m.histograms[i];
+    if (h.count == 0) continue;
+    if (!header) {
+      std::fprintf(out, "\n  %-28s %10s %14s %14s  %s\n", "histogram", "count", "min", "max",
+                   "unit");
+      header = true;
+    }
+    std::fprintf(out, "  %-28s %10" PRIu64 " %14.6g %14.6g  %s\n", kHistogramInfo[i].name,
+                 h.count, h.min, h.max, kHistogramInfo[i].unit);
+  }
+  std::fprintf(out, "\n");
+}
+
+}  // namespace rt::obs

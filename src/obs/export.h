@@ -1,0 +1,31 @@
+// Exporters for the observability layer: chrome://tracing JSON, flat
+// metrics JSON, and the human-readable per-stage summary table. All of
+// this is cold-path code (called once at the end of a bench or test);
+// schemas are documented in docs/TELEMETRY.md.
+#pragma once
+
+#include <cstdio>
+#include <span>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace rt::obs {
+
+/// Writes `spans` as a chrome://tracing / Perfetto "traceEvents" array
+/// (complete events, ph="X", timestamps in microseconds). Open the file
+/// at chrome://tracing or https://ui.perfetto.dev.
+void write_chrome_trace(const std::string& path, std::span<const SpanRecord> spans);
+
+/// Writes the registry as flat JSON (schema "rt-metrics-v1"): a
+/// counters object plus per-histogram count/min/max and the non-empty
+/// log2 buckets as [lower_bound, count] pairs.
+void write_metrics_json(const std::string& path, const MetricsRegistry& m);
+
+/// Prints the per-stage wall-time table (aggregated over span names),
+/// non-zero counters, and histogram summaries. `out` is typically stdout.
+void print_stage_summary(std::FILE* out, const MetricsRegistry& m,
+                         std::span<const SpanRecord> spans);
+
+}  // namespace rt::obs

@@ -1,0 +1,8 @@
+// Umbrella header for the observability layer (rt_obs): metrics
+// registry, trace spans + instrumentation macros, and exporters.
+// See docs/TELEMETRY.md for the telemetry schema and naming rules.
+#pragma once
+
+#include "obs/export.h"  // IWYU pragma: export
+#include "obs/metrics.h"  // IWYU pragma: export
+#include "obs/trace.h"  // IWYU pragma: export

@@ -1,0 +1,48 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+
+// rt-lint: no-preconditions (clock/ordinal helpers take no caller input)
+
+namespace rt::obs {
+
+std::int64_t now_ns() noexcept {
+  // The epoch is latched on first use; after that a call is one clock
+  // read and a subtraction (no allocation, no locks -- safe for the
+  // zero-allocation hot path).
+  static const std::chrono::steady_clock::time_point epoch = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                              epoch)
+      .count();
+}
+
+std::uint32_t thread_ordinal() noexcept {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t ordinal = next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+std::size_t TraceBuffer::default_capacity() {
+  if (const char* v = std::getenv("RT_OBS_SPAN_CAPACITY"); v != nullptr && *v != '\0') {
+    const long n = std::atol(v);
+    if (n > 0) return static_cast<std::size_t>(n);
+  }
+  return kDefaultCapacity;
+}
+
+TraceBuffer::TraceBuffer(std::size_t capacity) : capacity_(capacity) {
+  spans_.reserve(capacity_);
+}
+
+bool TraceBuffer::push(const SpanRecord& rec) noexcept {
+  if (spans_.size() >= capacity_) {
+    ++dropped_;
+    return false;
+  }
+  spans_.push_back(rec);  // within reserved capacity: cannot allocate or throw
+  return true;
+}
+
+}  // namespace rt::obs

@@ -1,0 +1,227 @@
+// Scoped stage tracing: RT_TRACE_SPAN + the per-workspace TraceBuffer.
+//
+// This is the timing half of the observability layer. Usage in a stage:
+//
+//   void Demodulator::demodulate_into(...) {
+//     RT_TRACE_SPAN("demodulate");
+//     ...
+//   }
+//
+// and once per worker/packet-owner, binding the destination:
+//
+//   obs::ScopedBind bind(ws.obs);   // thread-local current recorder
+//
+// Cost model:
+//   - RT_OBS=OFF (default): RT_TRACE_SPAN and the RT_OBS_* macros expand
+//     to `static_cast<void>(sizeof ...)` -- no code, no data, no
+//     dependencies; Recorder is an empty struct so carrying one in
+//     PacketWorkspace is free. This mirrors the contract layer's
+//     disabled-macro idiom in common/error.h.
+//   - RT_OBS=ON: a span is two steady_clock reads plus one push into a
+//     TraceBuffer that was fully reserved at construction -- zero
+//     steady-state heap allocations (tests/test_alloc.cpp runs against
+//     this build in CI). Span names must be string literals (the buffer
+//     stores the pointer, not a copy).
+//
+// The data types (SpanRecord, TraceBuffer) are compiled in both builds so
+// exporters, sweep results and tests keep one API; only the recording
+// machinery (Recorder, ScopedBind, SpanScope) changes shape.
+//
+// Span names are part of the documented telemetry schema: every name used
+// in src/ or bench/ must appear in docs/TELEMETRY.md (enforced by
+// tools/rt_lint.py rule R5).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "obs/metrics.h"
+
+#if !defined(RT_OBS_ENABLED)
+#define RT_OBS_ENABLED 0
+#endif
+
+namespace rt::obs {
+
+/// True when the observability layer is compiled into the hot path
+/// (CMake -DRT_OBS=ON). Usable in `if constexpr` from either build.
+inline constexpr bool kEnabled = RT_OBS_ENABLED != 0;
+
+/// One closed span. Records are emitted at scope *exit*, so a buffer
+/// holds spans in closing order (children before their parent).
+struct SpanRecord {
+  const char* name = nullptr;  ///< string literal; never owned
+  std::int64_t start_ns = 0;   ///< process-epoch monotonic start
+  std::int64_t dur_ns = 0;
+  std::uint32_t tid = 0;       ///< dense per-thread ordinal (not the OS id)
+  std::uint16_t depth = 0;     ///< nesting depth within the recorder
+  friend bool operator==(const SpanRecord&, const SpanRecord&) = default;
+};
+
+/// Fixed-capacity span sink. All storage is reserved at construction, so
+/// push() never allocates; once full, further spans are counted as
+/// dropped instead of grown into. Defined in every build (exporters and
+/// tests use it directly) but only fed by the macros when RT_OBS is on.
+class TraceBuffer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 15;
+
+  explicit TraceBuffer(std::size_t capacity = default_capacity());
+
+  /// kDefaultCapacity, overridable via the RT_OBS_SPAN_CAPACITY
+  /// environment variable (read once per buffer construction -- cold).
+  [[nodiscard]] static std::size_t default_capacity();
+
+  /// Appends a record; returns false (and counts a drop) when full.
+  bool push(const SpanRecord& rec) noexcept;
+
+  void clear() noexcept {
+    spans_.clear();
+    dropped_ = 0;
+  }
+
+  [[nodiscard]] std::span<const SpanRecord> spans() const noexcept { return spans_; }
+  [[nodiscard]] std::size_t size() const noexcept { return spans_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+ private:
+  std::vector<SpanRecord> spans_;
+  std::size_t capacity_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Nanoseconds since a process-local monotonic epoch (first call).
+[[nodiscard]] std::int64_t now_ns() noexcept;
+
+/// Dense ordinal of the calling thread (0, 1, 2, ... in first-use order).
+[[nodiscard]] std::uint32_t thread_ordinal() noexcept;
+
+#if RT_OBS_ENABLED
+
+/// The per-worker recording context: spans + metrics owned by exactly one
+/// thread at a time. Embedded in sim::PacketWorkspace so every pipeline
+/// worker gets one for free.
+struct Recorder {
+  TraceBuffer trace;
+  MetricsRegistry metrics;
+  std::uint16_t open_depth = 0;  ///< live nesting depth (SpanScope internal)
+
+  void clear() noexcept {
+    trace.clear();
+    metrics.reset();
+    open_depth = 0;
+  }
+};
+
+namespace detail {
+inline Recorder*& current_slot() noexcept {
+  thread_local Recorder* cur = nullptr;
+  return cur;
+}
+}  // namespace detail
+
+/// The recorder the calling thread is currently bound to (may be null).
+[[nodiscard]] inline Recorder* current_recorder() noexcept { return detail::current_slot(); }
+
+/// RAII thread-local binding of the current recorder. Nests: the previous
+/// binding is restored on destruction.
+class ScopedBind {
+ public:
+  explicit ScopedBind(Recorder& r) noexcept : prev_(detail::current_slot()) {
+    detail::current_slot() = &r;
+  }
+  ~ScopedBind() { detail::current_slot() = prev_; }
+  ScopedBind(const ScopedBind&) = delete;
+  ScopedBind& operator=(const ScopedBind&) = delete;
+
+ private:
+  Recorder* prev_;
+};
+
+/// RAII stage timer; emits one SpanRecord into the bound recorder on
+/// destruction. No-op (and cheap) when no recorder is bound.
+class SpanScope {
+ public:
+  explicit SpanScope(const char* name) noexcept : rec_(detail::current_slot()) {
+    if (rec_ == nullptr) return;
+    name_ = name;
+    depth_ = rec_->open_depth++;
+    start_ns_ = now_ns();
+  }
+  ~SpanScope() {
+    if (rec_ == nullptr) return;
+    --rec_->open_depth;
+    const std::int64_t end = now_ns();
+    if (!rec_->trace.push({name_, start_ns_, end - start_ns_, thread_ordinal(), depth_}))
+      rec_->metrics.add(Counter::kTraceSpansDropped, 1);
+  }
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+ private:
+  Recorder* rec_;
+  const char* name_ = nullptr;
+  std::int64_t start_ns_ = 0;
+  std::uint16_t depth_ = 0;
+};
+
+inline void add_count(Counter c, std::uint64_t n) noexcept {
+  if (Recorder* r = detail::current_slot()) r->metrics.add(c, n);
+}
+inline void observe(Histogram h, double v) noexcept {
+  if (Recorder* r = detail::current_slot()) r->metrics.observe(h, v);
+}
+
+#else  // !RT_OBS_ENABLED -- observability compiled out
+
+/// Zero-size placeholder so workspaces can embed a Recorder member
+/// unconditionally. test_obs static_asserts that it stays empty.
+struct Recorder {
+  void clear() noexcept {}
+};
+
+/// Accepts (and ignores) a Recorder so call sites compile unchanged.
+class ScopedBind {
+ public:
+  explicit ScopedBind(Recorder& /*unused*/) noexcept {}
+  ScopedBind(const ScopedBind&) = delete;
+  ScopedBind& operator=(const ScopedBind&) = delete;
+};
+
+inline void add_count(Counter /*c*/, std::uint64_t /*n*/) noexcept {}
+inline void observe(Histogram /*h*/, double /*v*/) noexcept {}
+
+#endif  // RT_OBS_ENABLED
+
+}  // namespace rt::obs
+
+// --- Instrumentation macros -------------------------------------------------
+// The disabled forms evaluate nothing but keep the operands parsed (the
+// same `sizeof` trick as RT_ASSERT in common/error.h), so code cannot
+// compile in one configuration and break in the other.
+
+#define RT_OBS_CONCAT_IMPL(a, b) a##b
+#define RT_OBS_CONCAT(a, b) RT_OBS_CONCAT_IMPL(a, b)
+
+#if RT_OBS_ENABLED
+/// Times the enclosing scope as stage `name` (a string literal; must be
+/// documented in docs/TELEMETRY.md).
+#define RT_TRACE_SPAN(name) \
+  const ::rt::obs::SpanScope RT_OBS_CONCAT(rt_obs_span_, __LINE__)(name)
+#else
+#define RT_TRACE_SPAN(name) static_cast<void>(sizeof(name))
+#endif  // RT_OBS_ENABLED
+
+// Counter/histogram macros expand identically in both builds -- the
+// disabled build's add_count/observe are empty inline functions, so the
+// enumerator is always name-checked yet the call optimizes away.
+
+/// Adds `n` to counter `c` (an ::rt::obs::Counter enumerator).
+#define RT_OBS_COUNT(c, n) ::rt::obs::add_count(::rt::obs::Counter::c, (n))
+
+/// Records sample `v` into histogram `h` (an ::rt::obs::Histogram
+/// enumerator).
+#define RT_OBS_OBSERVE(h, v) ::rt::obs::observe(::rt::obs::Histogram::h, (v))

@@ -1,6 +1,7 @@
 #include "phy/demodulator.h"
 
 #include "common/error.h"
+#include "obs/trace.h"
 
 namespace rt::phy {
 
@@ -73,6 +74,7 @@ DemodResult Demodulator::demodulate(const sig::IqWaveform& rx, int payload_slots
 void Demodulator::demodulate_into(sig::IqWaveform& rx, int payload_slots,
                                   const DemodOptions& options, DemodWorkspace& ws,
                                   DemodResult& out) const {
+  RT_TRACE_SPAN("demodulate");
   RT_ENSURE(payload_slots >= 1, "need at least one payload slot");
   out.preamble_found = false;
   out.bits.clear();
@@ -81,7 +83,10 @@ void Demodulator::demodulate_into(sig::IqWaveform& rx, int payload_slots,
   const auto det = preamble_.detect(rx, options.search_limit, ws.preamble);
   out.detection = det;
   out.preamble_found = det.found;
-  if (!det.found) return;
+  if (!det.found) {
+    RT_OBS_COUNT(kPreambleDetectFail, 1);
+    return;
+  }
 
   // The received buffer becomes the corrected-signal stage in place; every
   // downstream consumer reads the corrected samples.
@@ -112,6 +117,9 @@ void Demodulator::demodulate_into(sig::IqWaveform& rx, int payload_slots,
   out.equalizer_metric = ws.eq_result.final_metric;
   RT_DCHECK_FINITE(out.equalizer_metric);
 
+  // One span around the whole unmap/descramble stage (per-symbol spans
+  // would swamp the trace buffer).
+  RT_TRACE_SPAN("unmap");
   out.bits.reserve(static_cast<std::size_t>(payload_slots) * constellation_.bits_per_symbol());
   for (const auto& sym : ws.eq_result.symbols) constellation_.unmap_into(sym, out.bits);
   if (options.descramble) scrambler_.apply_in_place(out.bits);

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/error.h"
+#include "obs/trace.h"
 
 namespace rt::phy {
 
@@ -68,6 +69,7 @@ EqualizerResult DfeEqualizer::equalize(const sig::IqWaveform& rx, std::size_t pa
 void DfeEqualizer::equalize_into(const sig::IqWaveform& rx, std::size_t payload_begin,
                                  int n_slots, std::span<const unsigned> initial_histories,
                                  EqualizerWorkspace& ws, EqualizerResult& out) const {
+  RT_TRACE_SPAN("dfe");
   RT_ENSURE(n_slots >= 1, "need at least one slot");
   const int l = p_.dsm_order;
   const int modules = p_.use_q_channel ? 2 * l : l;
@@ -174,8 +176,10 @@ void DfeEqualizer::equalize_into(const sig::IqWaveform& rx, std::size_t payload_
     // Survivor selection into the `next` pool: optionally merge identical
     // trellis states first. Copy assignment into pooled branches reuses
     // the inner vectors' capacity.
+    RT_OBS_COUNT(kDfeBranchesExpanded, candidates.size());
     std::size_t n_next = 0;
     std::size_t n_seen = 0;
+    std::size_t n_merged = 0;
     if (p_.merge_equalizer_states) ws.seen_keys.resize(max_branches * key_stride);
     for (const auto& c : candidates) {
       if (n_next >= max_branches) break;
@@ -213,7 +217,10 @@ void DfeEqualizer::equalize_into(const sig::IqWaveform& rx, std::size_t payload_
             break;
           }
         }
-        if (dup) continue;
+        if (dup) {
+          ++n_merged;
+          continue;
+        }
         ++n_seen;
       }
       // Decision feedback: subtract the decided cycle's waveform over its
@@ -233,6 +240,8 @@ void DfeEqualizer::equalize_into(const sig::IqWaveform& rx, std::size_t payload_
         nb.residual[w_samps - t_samps + k] = rx_at(next_window_begin + k);
       ++n_next;
     }
+    RT_OBS_COUNT(kDfeStateMerges, n_merged);
+    RT_OBS_COUNT(kDfeBranchesPruned, candidates.size() - n_next - n_merged);
     std::swap(ws.cur, ws.next);
     ws.n_cur = n_next;
     RT_ENSURE(ws.n_cur > 0, "equalizer lost all branches");
@@ -244,6 +253,7 @@ void DfeEqualizer::equalize_into(const sig::IqWaveform& rx, std::size_t payload_
       [](const Branch& a, const Branch& b) { return a.metric < b.metric; });
   out.symbols.assign(best->decisions.begin(), best->decisions.end());
   out.final_metric = best->metric;
+  RT_OBS_OBSERVE(kEqualizerResidual, out.final_metric);
 }
 
 }  // namespace rt::phy

@@ -12,6 +12,7 @@
 
 #include "common/narrow.h"
 #include "lcm/tag_array.h"
+#include "obs/trace.h"
 #include "phy/constellation.h"
 #include "phy/frame.h"
 #include "phy/params.h"
@@ -64,6 +65,7 @@ class Modulator {
   /// modulate().
   void modulate_into(std::span<const std::uint8_t> payload_bits, ModulatorWorkspace& ws,
                      PacketSchedule& out, bool scramble = true) const {
+    RT_TRACE_SPAN("modulate");
     auto& bits = ws.bits;
     bits.assign(payload_bits.begin(), payload_bits.end());
     if (scramble) scrambler_.apply_in_place(bits);

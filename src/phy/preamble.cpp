@@ -5,6 +5,7 @@
 #include "common/error.h"
 #include "lcm/tag_array.h"
 #include "linalg/least_squares.h"
+#include "obs/trace.h"
 #include "signal/correlate.h"
 
 namespace rt::phy {
@@ -34,6 +35,7 @@ double PreambleProcessor::regress(const sig::IqWaveform& rx, std::size_t offset,
                                   Complex& b, Complex& c, PreambleWorkspace& ws) const {
   const std::size_t k = reference_.size();
   if (offset + k > rx.size()) return 1.0;
+  RT_OBS_COUNT(kLsSolves, 1);
   ws.design.resize(k, 3);
   ws.y.resize(k);
   for (std::size_t i = 0; i < k; ++i) {
@@ -84,6 +86,7 @@ PreambleDetection PreambleProcessor::detect(const sig::IqWaveform& rx,
 
 PreambleDetection PreambleProcessor::detect(const sig::IqWaveform& rx, std::size_t search_limit,
                                             PreambleWorkspace& ws) const {
+  RT_TRACE_SPAN("preamble_detect");
   RT_ENSURE(rx.sample_rate_hz == p_.sample_rate_hz,
             "received waveform sample rate does not match the PHY parameters");
   PreambleDetection det;
@@ -124,6 +127,7 @@ PreambleDetection PreambleProcessor::detect(const sig::IqWaveform& rx, std::size
   }
   det.normalized_residual = best_resid;
   det.correlation_peak = corr[coarse];
+  RT_OBS_OBSERVE(kPreambleResidual, best_resid);
   // Two acceptance paths: a clean regression fit (high SNR), or a strong
   // normalized correlation peak. The latter carries the full processing
   // gain of the preamble length, which is what lets low-rate links
@@ -141,6 +145,7 @@ sig::IqWaveform PreambleProcessor::correct(const sig::IqWaveform& rx,
 
 void PreambleProcessor::correct_in_place(sig::IqWaveform& rx,
                                          const PreambleDetection& det) const {
+  RT_TRACE_SPAN("preamble_correct");
   RT_ENSURE(rx.sample_rate_hz == p_.sample_rate_hz,
             "received waveform sample rate does not match the PHY parameters");
   RT_DCHECK_FINITE(det.a);

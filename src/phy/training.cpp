@@ -5,6 +5,7 @@
 #include "common/error.h"
 #include "linalg/least_squares.h"
 #include "linalg/svd.h"
+#include "obs/trace.h"
 
 namespace rt::phy {
 
@@ -96,6 +97,8 @@ void OnlineTrainer::train_into(const PhyParams& params, const OfflineModel& mode
                                const FrameLayout& layout, const sig::IqWaveform& corrected_rx,
                                std::size_t frame_start, PulseBank& bank, TrainingWorkspace& ws,
                                double ridge) {
+  RT_TRACE_SPAN("train");
+  RT_OBS_COUNT(kTrainingSolves, 1);
   RT_ENSURE(ridge >= 0.0, "ridge weight cannot be negative");
   const int l = params.dsm_order;
   const int modules = params.use_q_channel ? 2 * l : l;
@@ -162,6 +165,7 @@ void OnlineTrainer::train_into(const PhyParams& params, const OfflineModel& mode
 
   // A is real; solve the complex fit as two real least-squares problems
   // off one QR decomposition.
+  RT_OBS_COUNT(kLsSolves, 2);
   linalg::qr_decompose_into(a, ws.ls);
   const auto re_sol = linalg::solve_after_qr(std::span<const double>(b_re), ws.ls);
   ws.g_re.assign(re_sol.begin(), re_sol.end());
@@ -205,6 +209,9 @@ void OnlineTrainer::calibrate_pixel_gains_into(const PhyParams& params,
                                                const sig::IqWaveform& corrected_rx,
                                                std::size_t frame_start, PulseBank& bank,
                                                TrainingWorkspace& ws) {
+  RT_TRACE_SPAN("pixel_cal");
+  RT_OBS_COUNT(kPixelCalSolves, 1);
+  RT_OBS_COUNT(kLsSolves, 1);
   // Second LS stage over the pixel-calibration rounds: each weight pixel's
   // waveform is g_{m,w} * area_w * T_m[key], with complex gains g as the
   // unknowns. The single-pixel firing structure of the rounds makes the

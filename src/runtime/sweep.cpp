@@ -46,38 +46,71 @@ SweepResult parallel_sweep(std::span<const SweepPoint> points, const SweepOption
   // cannot deadlock regardless of pool size.
   const int batch = options.batch_packets < 1 ? 1 : options.batch_packets;
   const std::size_t payload = options.payload_bytes;
+  struct BatchOut {
+    sim::LinkStats stats;
+    obs::MetricsRegistry metrics;       // empty unless RT_OBS=ON
+    std::vector<obs::SpanRecord> spans;  // empty unless RT_OBS=ON
+  };
   struct Batch {
     std::size_t point;
-    std::future<sim::LinkStats> stats;
+    std::future<BatchOut> out;
   };
   std::vector<Batch> batches;
   for (std::size_t i = 0; i < points.size(); ++i) {
     for (int begin = 0; begin < options.packets; begin += batch) {
       const int end = std::min(begin + batch, options.packets);
-      auto task = [sim = sims[i], begin, end, payload] {
+      // Submit timestamp for the queue-wait metric (observability builds).
+      const std::int64_t submit_ns = obs::kEnabled ? obs::now_ns() : 0;
+      auto task = [sim = sims[i], begin, end, payload, submit_ns] {
         // One packet workspace per worker thread, reused across batches
         // and sweeps: the packet pipeline stays allocation-free in steady
         // state, and run_packet's outcome is independent of workspace
         // history, so parallel results remain bit-identical to serial.
         static thread_local sim::PacketWorkspace ws;
-        sim::LinkStats stats;
-        for (int p = begin; p < end; ++p) {
-          const auto outcome = sim->run_packet(static_cast<std::uint64_t>(p), payload, ws);
-          ++stats.packets;
-          if (!outcome.preamble_found) ++stats.preamble_failures;
-          stats.bit_errors += outcome.bit_errors;
-          stats.total_bits += outcome.bits;
-        }
-        return stats;
+        BatchOut out;
+        {
+          // Per-batch recording scope: the recorder is cleared so the
+          // snapshot below covers exactly this batch, making the merged
+          // result independent of which worker ran which batch.
+          ws.obs.clear();
+          const obs::ScopedBind obs_bind(ws.obs);
+          RT_TRACE_SPAN("sweep_batch");
+          RT_OBS_COUNT(kSweepBatches, 1);
+          if constexpr (obs::kEnabled)
+            RT_OBS_OBSERVE(kQueueWaitUs,
+                           static_cast<double>(obs::now_ns() - submit_ns) / 1e3);
+          for (int p = begin; p < end; ++p) {
+            const auto outcome = sim->run_packet(static_cast<std::uint64_t>(p), payload, ws);
+            ++out.stats.packets;
+            if (!outcome.preamble_found) ++out.stats.preamble_failures;
+            out.stats.bit_errors += outcome.bit_errors;
+            out.stats.total_bits += outcome.bits;
+          }
+        }  // the sweep_batch span closes here, before the snapshot
+#if RT_OBS_ENABLED
+        out.metrics = ws.obs.metrics;
+        const auto spans = ws.obs.trace.spans();
+        out.spans.assign(spans.begin(), spans.end());
+#endif
+        return out;
       };
       batches.push_back({i, pool.submit(std::move(task))});
     }
   }
 
-  // Merge batches. LinkStats::merge is a plain sum, so the merge order is
-  // immaterial -- collecting in submission order keeps the code obvious.
+  // Merge batches. LinkStats::merge and MetricsRegistry::merge are
+  // associative/commutative sums, so the merge order is immaterial --
+  // collecting in submission order keeps the code obvious (and gives the
+  // trace a stable batch order).
   result.stats.resize(points.size());
-  for (auto& b : batches) result.stats[b.point].merge(b.stats.get());
+  for (auto& b : batches) {
+    auto out = b.out.get();
+    result.stats[b.point].merge(out.stats);
+    if constexpr (obs::kEnabled) {
+      result.metrics.merge(out.metrics);
+      result.trace.insert(result.trace.end(), out.spans.begin(), out.spans.end());
+    }
+  }
 
   result.wall_s = std::chrono::duration<double>(Clock::now() - start).count();
   return result;

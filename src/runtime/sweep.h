@@ -12,6 +12,7 @@
 #include <span>
 #include <vector>
 
+#include "obs/trace.h"
 #include "runtime/thread_pool.h"
 #include "sim/link_sim.h"
 
@@ -38,6 +39,15 @@ struct SweepResult {
   std::vector<sim::LinkStats> stats;  ///< per point, in input order
   double wall_s = 0.0;                ///< wall-clock time of the sweep
   unsigned threads = 1;               ///< workers actually used
+
+  // Observability (populated only when built with RT_OBS=ON; empty
+  // otherwise). Each batch task records into its worker's recorder and
+  // returns a snapshot with its stats; the snapshots are merged here.
+  // Data-derived metrics are bit-identical at any thread count (the
+  // LinkStats::merge discipline); timing samples (queue_wait_us, span
+  // durations) are wall-clock and vary run to run.
+  obs::MetricsRegistry metrics;
+  std::vector<obs::SpanRecord> trace;  ///< all batch spans, submission order
 };
 
 /// Runs every point on a private pool of `options.threads` workers.

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/error.h"
+#include "obs/trace.h"
 #include "optics/polarization.h"
 #include "phy/frame.h"
 #include "signal/awgn.h"
@@ -18,6 +19,7 @@ std::uint64_t next_channel_id() {
 void ChannelRealization::synthesize_into(std::span<const lcm::Firing> firings, double duration_s,
                                          Rng* noise_rng, lcm::SynthScratch& scratch,
                                          sig::IqWaveform& out) {
+  RT_TRACE_SPAN("channel");
   // reset() restores the as-constructed LC state, so a reused realization
   // renders exactly what a freshly built tag would.
   tag_.reset();

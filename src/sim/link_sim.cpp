@@ -1,6 +1,7 @@
 #include "sim/link_sim.h"
 
 #include "common/narrow.h"
+#include "obs/trace.h"
 #include "phy/training.h"
 
 namespace rt::sim {
@@ -75,6 +76,9 @@ LinkSimulator::PacketOutcome LinkSimulator::transmit_into(
     std::span<const std::uint8_t> payload_bits, Rng& pad_rng, Rng* noise_rng,
     PacketWorkspace& ws) const {
   RT_ENSURE(!payload_bits.empty(), "packets need a non-empty payload");
+  // All stage spans/metrics of this packet land in the workspace recorder.
+  const obs::ScopedBind obs_bind(ws.obs);
+  RT_TRACE_SPAN("packet");
   modulator_.modulate_into(payload_bits, ws.tx, ws.schedule);
   auto& pkt = ws.schedule;
 
@@ -104,12 +108,15 @@ LinkSimulator::PacketOutcome LinkSimulator::transmit_into(
   out.preamble_found = res.preamble_found;
   if (!res.preamble_found) {
     out.bit_errors = payload_bits.size();  // whole packet lost
-    return out;
+  } else {
+    RT_ENSURE(res.bits.size() >= payload_bits.size(),
+              "demodulator returned fewer bits than the transmitted payload");
+    for (std::size_t i = 0; i < payload_bits.size(); ++i)
+      out.bit_errors += (res.bits[i] != payload_bits[i]) ? 1 : 0;
   }
-  RT_ENSURE(res.bits.size() >= payload_bits.size(),
-            "demodulator returned fewer bits than the transmitted payload");
-  for (std::size_t i = 0; i < payload_bits.size(); ++i)
-    out.bit_errors += (res.bits[i] != payload_bits[i]) ? 1 : 0;
+  RT_OBS_COUNT(kPacketsSimulated, 1);
+  RT_OBS_COUNT(kPayloadBits, out.bits);
+  RT_OBS_COUNT(kBitErrors, out.bit_errors);
   return out;
 }
 

@@ -14,6 +14,7 @@
 #include <optional>
 #include <vector>
 
+#include "obs/trace.h"
 #include "phy/demodulator.h"
 #include "phy/modulator.h"
 #include "sim/channel.h"
@@ -36,6 +37,11 @@ struct PacketWorkspace {
   sig::IqWaveform rx;
   phy::DemodWorkspace demod;
   phy::DemodResult result;
+
+  // Observability. The pipeline binds this recorder (thread-local) for
+  // the duration of each packet, so stage spans and metrics land here.
+  // Empty (zero-size, zero-cost) unless built with RT_OBS=ON.
+  obs::Recorder obs;
 };
 
 }  // namespace rt::sim

@@ -17,10 +17,14 @@ Rules (see DESIGN.md "Static analysis and lint"):
                       (public entry points must validate their inputs), or
                       carries `// rt-lint: no-preconditions (<why>)` near the
                       top of the file.
+  R5 span-docs        Every RT_TRACE_SPAN("name") literal used in src/ or
+                      bench/ appears in docs/TELEMETRY.md (the telemetry
+                      schema is documentation-complete; tests/ may invent
+                      throwaway names).
 
 Exit status: 0 when clean, 1 when any finding is reported.
 Usage: tools/rt_lint.py [root-dir]   (default: repo root inferred from the
-script location; only src/ is scanned.)
+script location; R1-R4 scan src/, R5 scans src/ and bench/.)
 """
 
 from __future__ import annotations
@@ -46,6 +50,8 @@ NO_PRECONDITIONS_RE = re.compile(r"//\s*rt-lint:\s*no-preconditions")
 
 # Files that implement the checked-cast layer itself.
 NARROW_RULE_EXEMPT = {"src/common/narrow.h", "src/common/error.h"}
+
+TRACE_SPAN_RE = re.compile(r'RT_TRACE_SPAN\(\s*"([^"]+)"')
 
 
 def strip_comments_and_strings(line: str) -> str:
@@ -111,6 +117,29 @@ def lint_file(path: Path, rel: str, findings: list[str]) -> None:
             )
 
 
+def lint_span_docs(root: Path, findings: list[str]) -> int:
+    """R5: every span name used in src/ or bench/ is documented in
+    docs/TELEMETRY.md. Returns the number of files scanned."""
+    telemetry = root / "docs" / "TELEMETRY.md"
+    documented = telemetry.read_text(encoding="utf-8") if telemetry.is_file() else ""
+    scanned = 0
+    for sub in ("src", "bench"):
+        base = root / sub
+        if not base.is_dir():
+            continue
+        for path in sorted(p for p in base.rglob("*") if p.suffix in (".h", ".cpp")):
+            rel = path.relative_to(root).as_posix()
+            scanned += 1
+            for ln, raw in enumerate(path.read_text(encoding="utf-8").splitlines(), start=1):
+                for name in TRACE_SPAN_RE.findall(raw):
+                    if f"`{name}`" not in documented:
+                        findings.append(
+                            f"{rel}:{ln}: [span-docs] span \"{name}\" is not documented "
+                            "in docs/TELEMETRY.md (add a row to the span table)"
+                        )
+    return scanned
+
+
 def main(argv: list[str]) -> int:
     root = Path(argv[1]).resolve() if len(argv) > 1 else Path(__file__).resolve().parent.parent
     src = root / "src"
@@ -122,6 +151,7 @@ def main(argv: list[str]) -> int:
     files = sorted(p for p in src.rglob("*") if p.suffix in (".h", ".cpp"))
     for path in files:
         lint_file(path, path.relative_to(root).as_posix(), findings)
+    lint_span_docs(root, findings)
 
     for f in findings:
         print(f)
