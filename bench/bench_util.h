@@ -177,6 +177,10 @@ class BenchReport {
     obs_trace_.insert(obs_trace_.end(), r.trace.begin(), r.trace.end());
   }
 
+  /// Folds an already-merged metrics registry (e.g. a closed-loop study's)
+  /// into the report. No-op outside RT_OBS builds (the registry is empty).
+  void add_metrics(const obs::MetricsRegistry& m) { obs_metrics_.merge(m); }
+
   /// Folds a serial-path recorder (e.g. a PacketWorkspace's) into the
   /// report. No-op unless built with RT_OBS=ON.
   void add_recorder(const obs::Recorder& rec) {

@@ -34,10 +34,21 @@ class GoodputModel {
 
   /// Overrides the analytic waterfall with measured (snr_db, ber) points
   /// for one option name; linear interpolation in log-BER, clamped ends.
+  /// Duplicate SNR points are collapsed to their worst (highest) BER --
+  /// repeated measurements at one SNR must not poison the interpolation
+  /// divisor with a zero-width segment.
   void add_measurements(const std::string& option_name,
                         std::vector<std::pair<double, double>> snr_ber) {
     std::sort(snr_ber.begin(), snr_ber.end());
-    measured_[option_name] = std::move(snr_ber);
+    std::vector<std::pair<double, double>> deduped;
+    deduped.reserve(snr_ber.size());
+    for (const auto& p : snr_ber) {
+      if (!deduped.empty() && deduped.back().first == p.first)
+        deduped.back().second = std::max(deduped.back().second, p.second);
+      else
+        deduped.push_back(p);
+    }
+    measured_[option_name] = std::move(deduped);
   }
 
   [[nodiscard]] double ber(const RateOption& option, double snr_db) const {
@@ -51,7 +62,9 @@ class GoodputModel {
       if (snr_db > pts[i].first) continue;
       const auto [s0, b0] = pts[i - 1];
       const auto [s1, b1] = pts[i];
-      const double t = (snr_db - s0) / (s1 - s0);
+      // Points are deduped on insert, but guard the divisor anyway: a
+      // zero-width segment interpolates to its left endpoint, never NaN.
+      const double t = s1 > s0 ? (snr_db - s0) / (s1 - s0) : 0.0;
       const double lb0 = std::log10(std::max(b0, 1e-12));
       const double lb1 = std::log10(std::max(b1, 1e-12));
       return std::pow(10.0, lb0 + t * (lb1 - lb0));
@@ -97,19 +110,26 @@ class GoodputModel {
     return option.effective_rate_bps() * packet_success(option, snr_db, payload_bytes);
   }
 
+  /// Index of the best option in `table` for the SNR by expected goodput
+  /// (the per-tag assignment the MAC telemetry records).
+  [[nodiscard]] std::size_t best_option_index(const RateTable& table, double snr_db,
+                                              std::size_t payload_bytes = 128) const {
+    std::size_t best = 0;
+    double best_g = -1.0;
+    for (std::size_t i = 0; i < table.size(); ++i) {
+      const double g = goodput_bps(table.option(i), snr_db, payload_bytes);
+      if (g > best_g) {
+        best_g = g;
+        best = i;
+      }
+    }
+    return best;
+  }
+
   /// Best option in `table` for the SNR by expected goodput.
   [[nodiscard]] const RateOption& best_option(const RateTable& table, double snr_db,
                                               std::size_t payload_bytes = 128) const {
-    const RateOption* best = &table.all().front();
-    double best_g = -1.0;
-    for (const auto& o : table.all()) {
-      const double g = goodput_bps(o, snr_db, payload_bytes);
-      if (g > best_g) {
-        best_g = g;
-        best = &o;
-      }
-    }
-    return *best;
+    return table.option(best_option_index(table, snr_db, payload_bytes));
   }
 
  private:

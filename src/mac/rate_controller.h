@@ -1,0 +1,81 @@
+// Closed-loop rate controller: EWMA-smoothed SNR tracking with hysteresis.
+//
+// The reader (section 4.4) assigns each tag a (bit rate, coding) option
+// from its measured uplink SNR. Raw per-packet estimates jitter by a few
+// dB around the true SNR, so selecting straight from the table would flap
+// between adjacent options whenever the link sits near a threshold. The
+// controller smooths the estimate stream with an exponential moving
+// average and applies an asymmetric hysteresis band: stepping *up* to a
+// faster option requires clearing its threshold by `hysteresis_db` extra
+// margin, while the current option is kept as long as the smoothed SNR
+// stays within `hysteresis_db` below its own threshold. Assignments
+// therefore change only on sustained SNR moves, never on single-packet
+// noise.
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.h"
+#include "mac/rate_table.h"
+#include "obs/trace.h"
+
+namespace rt::mac {
+
+struct RateControllerConfig {
+  double ewma_alpha = 0.25;   ///< smoothing weight of the newest estimate
+  double hysteresis_db = 1.5; ///< extra margin to enter / slack to keep an option
+};
+
+class RateController {
+ public:
+  explicit RateController(const RateTable& table, RateControllerConfig cfg = {})
+      : table_(&table), cfg_(cfg), current_(table.most_robust_index()) {
+    RT_ENSURE(cfg_.ewma_alpha > 0.0 && cfg_.ewma_alpha <= 1.0, "ewma_alpha must be in (0, 1]");
+    RT_ENSURE(cfg_.hysteresis_db >= 0.0, "hysteresis_db cannot be negative");
+  }
+
+  /// Feeds one SNR estimate (dB); returns the rate-option index assigned
+  /// after this observation. Deterministic: the assignment sequence is a
+  /// pure function of the estimate sequence.
+  std::size_t update(double snr_estimate_db) {
+    if (!has_sample_) {
+      smoothed_ = snr_estimate_db;
+      has_sample_ = true;
+    } else {
+      smoothed_ += cfg_.ewma_alpha * (snr_estimate_db - smoothed_);
+    }
+    // Candidate selected with the raised entry bar; the incumbent only
+    // yields when the candidate is strictly faster or the incumbent's own
+    // threshold (minus slack) is no longer met.
+    const std::size_t candidate = table_->select_index(smoothed_, cfg_.hysteresis_db);
+    const RateOption& cur = table_->option(current_);
+    const RateOption& cand = table_->option(candidate);
+    const bool current_still_ok = smoothed_ >= cur.threshold_db - cfg_.hysteresis_db;
+    const bool step_up = cand.effective_rate_bps() > cur.effective_rate_bps();
+    if (step_up || !current_still_ok) {
+      if (candidate != current_) {
+        ++switches_;
+        RT_OBS_COUNT(kMacRateSwitches, 1);
+      }
+      current_ = candidate;
+    }
+    RT_OBS_OBSERVE(kAssignedRateIndex, static_cast<double>(current_));
+    return current_;
+  }
+
+  [[nodiscard]] std::size_t current_index() const { return current_; }
+  [[nodiscard]] const RateOption& current_option() const { return table_->option(current_); }
+  [[nodiscard]] double smoothed_snr_db() const { return smoothed_; }
+  [[nodiscard]] std::uint64_t switches() const { return switches_; }
+  [[nodiscard]] const RateControllerConfig& config() const { return cfg_; }
+
+ private:
+  const RateTable* table_;
+  RateControllerConfig cfg_;
+  std::size_t current_ = 0;
+  double smoothed_ = 0.0;
+  bool has_sample_ = false;
+  std::uint64_t switches_ = 0;
+};
+
+}  // namespace rt::mac

@@ -53,31 +53,56 @@ class RateTable {
     return RateTable(std::move(opts));
   }
 
-  /// Highest-effective-rate option whose threshold the SNR clears; falls
-  /// back to the most robust option when none does.
-  [[nodiscard]] const RateOption& select(double snr_db) const {
+  /// Index of the highest-effective-rate option whose threshold the SNR
+  /// clears (ties broken by first occurrence); falls back to the
+  /// minimum-threshold option when none does. `margin_db` raises every
+  /// entry requirement by that much -- the hysteresis band the closed-loop
+  /// RateController selects through.
+  [[nodiscard]] std::size_t select_index(double snr_db, double margin_db = 0.0) const {
     const RateOption* best = nullptr;
-    const RateOption* most_robust = &options_.front();
-    for (const auto& o : options_) {
-      if (o.threshold_db < most_robust->threshold_db) most_robust = &o;
-      if (snr_db < o.threshold_db) continue;
-      if (!best || o.effective_rate_bps() > best->effective_rate_bps()) best = &o;
+    std::size_t best_index = 0;
+    for (std::size_t i = 0; i < options_.size(); ++i) {
+      const RateOption& o = options_[i];
+      if (snr_db < o.threshold_db + margin_db) continue;
+      if (!best || o.effective_rate_bps() > best->effective_rate_bps()) {
+        best = &o;
+        best_index = i;
+      }
     }
-    return best ? *best : *most_robust;
+    return best ? best_index : most_robust_index();
+  }
+
+  /// Highest-effective-rate option whose threshold the SNR clears; falls
+  /// back to the most robust (minimum-threshold) option when none does.
+  [[nodiscard]] const RateOption& select(double snr_db) const {
+    return options_[select_index(snr_db)];
+  }
+
+  /// Index of the lowest-threshold option (ties broken toward the lower
+  /// effective rate): what a tag with no SNR margin at all must run.
+  [[nodiscard]] std::size_t most_robust_index() const {
+    std::size_t r = 0;
+    for (std::size_t i = 1; i < options_.size(); ++i) {
+      const RateOption& o = options_[i];
+      if (o.threshold_db < options_[r].threshold_db ||
+          (o.threshold_db == options_[r].threshold_db &&
+           o.effective_rate_bps() < options_[r].effective_rate_bps()))
+        r = i;
+    }
+    return r;
   }
 
   /// The lowest-rate option every tag can use (the Fig. 18c baseline
   /// assigns this to the whole network).
   [[nodiscard]] const RateOption& most_robust() const {
-    const RateOption* r = &options_.front();
-    for (const auto& o : options_)
-      if (o.threshold_db < r->threshold_db ||
-          (o.threshold_db == r->threshold_db &&
-           o.effective_rate_bps() < r->effective_rate_bps()))
-        r = &o;
-    return *r;
+    return options_[most_robust_index()];
   }
 
+  [[nodiscard]] const RateOption& option(std::size_t index) const {
+    RT_ENSURE(index < options_.size(), "rate option index out of range");
+    return options_[index];
+  }
+  [[nodiscard]] std::size_t size() const { return options_.size(); }
   [[nodiscard]] const std::vector<RateOption>& all() const { return options_; }
 
  private:

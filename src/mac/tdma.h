@@ -49,6 +49,7 @@ class TdmaScheduler {
 struct DiscoveryResult {
   int rounds = 0;
   std::vector<std::uint8_t> discovered;  ///< in discovery order
+  std::vector<int> discovery_round;      ///< 1-based round each tag was found in
 };
 
 [[nodiscard]] inline DiscoveryResult discover_tags(const std::vector<std::uint8_t>& tag_ids,
@@ -68,6 +69,7 @@ struct DiscoveryResult {
     for (const auto& slot : slots) {
       if (slot.size() != 1) continue;  // empty or collision
       out.discovered.push_back(slot.front());
+      out.discovery_round.push_back(out.rounds);
       remaining.erase(slot.front());
     }
   }

@@ -49,6 +49,9 @@ enum class Counter : std::uint32_t {
   kPixelCalSolves,        ///< per-pixel gain-calibration solves
   kSweepBatches,          ///< batches executed by the parallel sweep engine
   kTraceSpansDropped,     ///< spans dropped by full TraceBuffers
+  kMacDiscoveryRounds,    ///< slotted-ALOHA discovery rounds run by the MAC
+  kMacArqRetries,         ///< stop-and-wait ARQ retransmissions
+  kMacRateSwitches,       ///< closed-loop rate-assignment changes
   kCount
 };
 
@@ -73,6 +76,9 @@ inline constexpr std::array<CounterInfo, kNumCounters> kCounterInfo{{
     {"pixel_cal_solves", "solves"},
     {"sweep_batches", "batches"},
     {"trace_spans_dropped", "spans"},
+    {"mac_discovery_rounds", "rounds"},
+    {"mac_arq_retries", "retries"},
+    {"mac_rate_switches", "switches"},
 }};
 
 /// Distribution metrics. Keep in sync with kHistogramInfo below and
@@ -81,6 +87,8 @@ enum class Histogram : std::uint32_t {
   kEqualizerResidual,  ///< DFE winning-branch cumulative squared error
   kPreambleResidual,   ///< normalized preamble regression residual
   kQueueWaitUs,        ///< sweep batch queue wait (submit -> start), microseconds
+  kAssignedRateIndex,  ///< rate-table index assigned by the closed loop
+  kSnrEstimateErrorDb, ///< |estimated - true| uplink SNR, dB
   kCount
 };
 
@@ -97,6 +105,8 @@ inline constexpr std::array<HistogramInfo, kNumHistograms> kHistogramInfo{{
     {"equalizer_residual", "squared-error", true},
     {"preamble_residual", "ratio", true},
     {"queue_wait_us", "us", false},
+    {"assigned_rate_index", "index", true},
+    {"snr_estimate_error_db", "dB", true},
 }};
 
 /// One log2-bucketed distribution. Bucket 0 collects non-positive (and

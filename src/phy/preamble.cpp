@@ -128,6 +128,21 @@ PreambleDetection PreambleProcessor::detect(const sig::IqWaveform& rx, std::size
   det.normalized_residual = best_resid;
   det.correlation_peak = corr[coarse];
   RT_OBS_OBSERVE(kPreambleResidual, best_resid);
+  // Receiver-side SNR estimate (section 4.4): apply the winning regression
+  // coefficients to the preamble window and compare against the known
+  // reference -- signal power from the reference, noise power from what the
+  // fit could not explain. This is what the closed rate-adaptation loop
+  // feeds to the rate table; the estimate is capped-finite even when the
+  // residual is zero (noiseless channel).
+  if (det.start_sample + reference_.size() <= rx.size()) {
+    const std::size_t k = reference_.size();
+    ws.fitted.resize(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      const Complex x = rx[det.start_sample + i];
+      ws.fitted[i] = det.a * x + det.b * std::conj(x) + det.c;
+    }
+    det.snr = sig::estimate_snr(ws.fitted, reference_);
+  }
   // Two acceptance paths: a clean regression fit (high SNR), or a strong
   // normalized correlation peak. The latter carries the full processing
   // gain of the preamble length, which is what lets low-rate links

@@ -22,6 +22,7 @@
 #include "phy/frame.h"
 #include "phy/params.h"
 #include "signal/correlate.h"
+#include "signal/snr_estimator.h"
 #include "signal/waveform.h"
 
 namespace rt::phy {
@@ -34,6 +35,7 @@ struct PreambleDetection {
   Complex c{0.0, 0.0};              ///< DC offset
   double normalized_residual = 1.0; ///< ||Y - fit|| / ||Y||
   double correlation_peak = 0.0;    ///< centred normalized correlation at t0
+  sig::SnrEstimate snr;             ///< receiver-side SNR over the fitted preamble
 };
 
 /// Reusable scratch for PreambleProcessor::detect(). Every buffer is fully
@@ -44,6 +46,7 @@ struct PreambleWorkspace {
   linalg::ComplexMatrix design;        ///< k x 3 widely-linear design
   linalg::ComplexMatrix reduced;       ///< k x 2 single-channel fallback
   std::vector<Complex> y;              ///< regression target (the reference)
+  std::vector<Complex> fitted;         ///< corrected preamble window for SNR estimation
   linalg::LsWorkspace<Complex> ls;     ///< QR solve scratch
 };
 

@@ -6,6 +6,7 @@
 // component from the residual, whose energy is the noise estimate.
 #pragma once
 
+#include <algorithm>
 #include <span>
 
 #include "common/error.h"
@@ -14,15 +15,37 @@
 
 namespace rt::sig {
 
+/// Estimates are clamped to +-kSnrEstimateCapDb. A clean channel (oracle
+/// probe, zero-noise emulation) has zero residual, which would otherwise
+/// divide to infinity; the closed rate-adaptation loop needs a finite,
+/// capped reading it can feed straight into the rate table. The cap sits
+/// well above the highest demodulation threshold (55 dB for 32 Kbps), so
+/// capping never changes a rate assignment.
+inline constexpr double kSnrEstimateCapDb = 80.0;
+
 struct SnrEstimate {
   double snr_db = 0.0;
   double signal_power = 0.0;
   double noise_power = 0.0;
 };
 
+namespace detail {
+
+/// Clamped dB conversion of a signal/noise power pair. Zero noise maps to
+/// the cap (perfectly clean) and zero signal to the negative cap; the
+/// result is always finite.
+[[nodiscard]] inline double capped_snr_db(double p_sig, double p_noise) {
+  if (!(p_noise > 0.0)) return p_sig > 0.0 ? kSnrEstimateCapDb : -kSnrEstimateCapDb;
+  if (!(p_sig > 0.0)) return -kSnrEstimateCapDb;
+  return std::clamp(rt::to_db(p_sig / p_noise), -kSnrEstimateCapDb, kSnrEstimateCapDb);
+}
+
+}  // namespace detail
+
 /// Estimates SNR by comparing a received segment against the known (fitted)
 /// reference: signal power from the reference, noise power from the
-/// residual. Both spans must be aligned and equal length.
+/// residual. Both spans must be aligned and equal length. The estimate is
+/// always finite: a zero residual yields the +kSnrEstimateCapDb cap.
 [[nodiscard]] inline SnrEstimate estimate_snr(std::span<const Complex> received,
                                               std::span<const Complex> fitted_reference) {
   RT_ENSURE(received.size() == fitted_reference.size() && !received.empty(),
@@ -35,13 +58,13 @@ struct SnrEstimate {
   }
   p_sig /= static_cast<double>(received.size());
   p_noise /= static_cast<double>(received.size());
-  RT_ENSURE(p_noise > 0.0, "zero residual: cannot estimate SNR");
-  return {rt::to_db(p_sig / p_noise), p_sig, p_noise};
+  return {detail::capped_snr_db(p_sig, p_noise), p_sig, p_noise};
 }
 
 /// Blind moment-based estimate for constant-envelope segments: separates
 /// mean (signal) from variance (noise) per axis. Used for quick link
-/// probing when no reference is available.
+/// probing when no reference is available. A zero-variance (noiseless)
+/// segment yields the capped estimate instead of aborting.
 [[nodiscard]] inline SnrEstimate estimate_snr_blind(std::span<const Complex> received) {
   RT_ENSURE(received.size() >= 8, "need at least 8 samples");
   Complex mean{};
@@ -50,8 +73,7 @@ struct SnrEstimate {
   double var = 0.0;
   for (const auto& v : received) var += std::norm(v - mean);
   var /= static_cast<double>(received.size() - 1);
-  RT_ENSURE(var > 0.0, "zero variance: cannot estimate SNR");
-  return {rt::to_db(std::norm(mean) / var), std::norm(mean), var};
+  return {detail::capped_snr_db(std::norm(mean), var), std::norm(mean), var};
 }
 
 }  // namespace rt::sig

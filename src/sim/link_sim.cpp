@@ -1,5 +1,7 @@
 #include "sim/link_sim.h"
 
+#include <cmath>
+
 #include "common/narrow.h"
 #include "obs/trace.h"
 #include "phy/training.h"
@@ -113,6 +115,8 @@ LinkSimulator::PacketOutcome LinkSimulator::transmit_into(
               "demodulator returned fewer bits than the transmitted payload");
     for (std::size_t i = 0; i < payload_bits.size(); ++i)
       out.bit_errors += (res.bits[i] != payload_bits[i]) ? 1 : 0;
+    out.snr_estimate_db = res.detection.snr.snr_db;
+    RT_OBS_OBSERVE(kSnrEstimateErrorDb, std::abs(out.snr_estimate_db - channel_.snr_db()));
   }
   RT_OBS_COUNT(kPacketsSimulated, 1);
   RT_OBS_COUNT(kPayloadBits, out.bits);

@@ -78,6 +78,10 @@ class LinkSimulator {
     bool preamble_found = false;
     std::size_t bit_errors = 0;
     std::size_t bits = 0;
+    /// Receiver-side uplink SNR estimate from the fitted preamble (dB),
+    /// always finite; meaningful only when `preamble_found`. This is the
+    /// quantity the closed rate-adaptation loop feeds to mac::RateTable.
+    double snr_estimate_db = 0.0;
     std::vector<std::uint8_t> received_bits;  ///< demodulated payload (empty if lost)
   };
   [[nodiscard]] PacketOutcome send_packet(std::span<const std::uint8_t> payload_bits);

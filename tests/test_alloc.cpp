@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <cstdlib>
 #include <new>
@@ -108,14 +109,19 @@ TEST(AllocationRegression, SteadyStatePacketPipelineIsAllocationFree) {
   g_counting.store(true);
   std::size_t errors = 0;
   bool all_found = true;
+  bool estimates_finite = true;
   for (std::uint64_t i = 0; i < 3; ++i) {
     const auto out = sim.run_packet(i, 8, ws);
     all_found = all_found && out.preamble_found;
+    // The closed rate-adaptation loop reads this per packet; producing it
+    // must cost no allocations and always be finite.
+    estimates_finite = estimates_finite && std::isfinite(out.snr_estimate_db);
     errors += out.bit_errors;
   }
   g_counting.store(false);
 
   EXPECT_TRUE(all_found);
+  EXPECT_TRUE(estimates_finite) << "per-packet SNR estimate must be finite";
   EXPECT_EQ(g_allocs.load(), 0u)
       << "the steady-state packet pipeline allocated on the heap (" << g_allocs.load()
       << " allocations across 3 packets; total bit errors " << errors << ")";

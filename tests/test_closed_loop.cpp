@@ -1,0 +1,193 @@
+// Tests for the closed rate-adaptation loop: the RateController's
+// EWMA/hysteresis behaviour, the receiver-side SNR estimate feeding it,
+// and the end-to-end study's determinism (serial == parallel) -- the
+// properties bench_fig18c's acceptance criteria ride on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "mac/closed_loop.h"
+#include "mac/rate_controller.h"
+#include "mac/rate_table.h"
+#include "signal/snr_estimator.h"
+#include "sim/link_sim.h"
+
+namespace rt::mac {
+namespace {
+
+TEST(RateController, StartsAtMostRobustOption) {
+  const auto table = RateTable::paper_default();
+  const RateController ctl(table);
+  EXPECT_EQ(ctl.current_index(), table.most_robust_index());
+  EXPECT_EQ(ctl.current_option().name, "1kbps+RS(255,127)");
+}
+
+TEST(RateController, StepsUpOnSustainedHighSnr) {
+  const auto table = RateTable::paper_default();
+  RateController ctl(table);
+  for (int i = 0; i < 30; ++i) ctl.update(60.0);
+  EXPECT_NEAR(ctl.smoothed_snr_db(), 60.0, 0.5);
+  EXPECT_NEAR(ctl.current_option().raw_rate_bps, 32000.0, 1.0);
+}
+
+TEST(RateController, StepsDownWhenSnrCollapses) {
+  const auto table = RateTable::paper_default();
+  RateController ctl(table);
+  for (int i = 0; i < 30; ++i) ctl.update(60.0);
+  const auto fast = ctl.current_index();
+  for (int i = 0; i < 60; ++i) ctl.update(5.0);
+  EXPECT_NE(ctl.current_index(), fast);
+  EXPECT_NEAR(ctl.current_option().raw_rate_bps, 1000.0, 1.0);
+}
+
+TEST(RateController, HysteresisPreventsFlappingAtThreshold) {
+  const auto table = RateTable::paper_default();
+  RateControllerConfig cfg;
+  cfg.ewma_alpha = 1.0;  // no smoothing: hysteresis alone must hold the line
+  cfg.hysteresis_db = 1.5;
+  RateController ctl(table);
+  RateController raw(table, cfg);
+  // Oscillate +-1 dB around the 16k+RS(255,223) threshold (30 dB): a
+  // memoryless selector would flap every sample; the controller must not.
+  for (int i = 0; i < 100; ++i) {
+    const double snr = 30.0 + ((i % 2 == 0) ? 1.0 : -1.0);
+    raw.update(snr);
+    ctl.update(snr);
+  }
+  // After the initial ramp the assignment must hold steady: at most the
+  // switches needed to climb from the most-robust start, never dozens.
+  EXPECT_LE(ctl.switches(), 3u);
+  EXPECT_LE(raw.switches(), 3u);
+  // And the memoryless table WOULD flap, proving the hysteresis is doing
+  // the work rather than the oscillation being harmless.
+  std::size_t table_flaps = 0;
+  std::size_t prev = table.select_index(31.0);
+  for (int i = 1; i < 100; ++i) {
+    const std::size_t cur = table.select_index(30.0 + ((i % 2 == 0) ? 1.0 : -1.0));
+    if (cur != prev) ++table_flaps;
+    prev = cur;
+  }
+  EXPECT_GT(table_flaps, 50u);
+}
+
+TEST(RateController, EwmaSmoothsSingleOutliers) {
+  const auto table = RateTable::paper_default();
+  RateControllerConfig cfg;
+  cfg.ewma_alpha = 0.25;
+  RateController ctl(table, cfg);
+  for (int i = 0; i < 20; ++i) ctl.update(40.0);
+  const auto settled = ctl.current_index();
+  ctl.update(15.0);  // one bad estimate must not tank the assignment
+  EXPECT_EQ(ctl.current_index(), settled);
+  EXPECT_GT(ctl.smoothed_snr_db(), 25.0);
+}
+
+TEST(RateController, RejectsBadConfig) {
+  const auto table = RateTable::paper_default();
+  RateControllerConfig bad;
+  bad.ewma_alpha = 0.0;
+  EXPECT_THROW(RateController(table, bad), PreconditionError);
+  bad.ewma_alpha = 0.5;
+  bad.hysteresis_db = -1.0;
+  EXPECT_THROW(RateController(table, bad), PreconditionError);
+}
+
+TEST(SnrEstimateFeed, TracksChannelSnrThroughRealPhy) {
+  // The estimate the loop runs on: run the probe config at a known SNR
+  // and check the per-packet estimates off the fitted preamble.
+  const auto p = probe_params();
+  sim::ChannelConfig ch;
+  ch.snr_override_db = 30.0;
+  ch.noise_seed = 5;
+  sim::SimOptions so;
+  so.seed = 17;
+  so.offline_yaws_deg = {0.0};
+  const sim::LinkSimulator sim(p, p.tag_config(), ch, so);
+  sim::PacketWorkspace ws;
+  double sum = 0.0;
+  int found = 0;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    const auto out = sim.run_packet(i, 8, ws);
+    ASSERT_TRUE(out.preamble_found);
+    EXPECT_TRUE(std::isfinite(out.snr_estimate_db));
+    sum += out.snr_estimate_db;
+    ++found;
+  }
+  EXPECT_NEAR(sum / found, 30.0, 3.0) << "preamble SNR estimate should track the channel";
+}
+
+TEST(SnrEstimateFeed, SelectionAgreementAboveAndBelowThresholds) {
+  // Estimated-vs-oracle agreement: away from rate thresholds a +-2 dB
+  // estimate error cannot change the selected option.
+  const auto table = RateTable::paper_default();
+  for (const double true_snr : {10.0, 22.5, 37.0, 60.0}) {
+    const auto oracle = table.select_index(true_snr);
+    for (const double err : {-2.0, -1.0, 1.0, 2.0})
+      EXPECT_EQ(table.select_index(true_snr + err), oracle)
+          << "at " << true_snr << " dB with error " << err;
+  }
+}
+
+TEST(SnrEstimator, ZeroResidualYieldsCappedFiniteEstimate) {
+  // Regression: a clean (noiseless) channel used to abort on the zero
+  // residual; the closed loop needs the capped estimate instead.
+  std::vector<sig::Complex> ref(32, sig::Complex{1.0, 0.5});
+  const auto est = sig::estimate_snr(ref, ref);  // received == reference
+  EXPECT_TRUE(std::isfinite(est.snr_db));
+  EXPECT_EQ(est.snr_db, sig::kSnrEstimateCapDb);
+  std::vector<sig::Complex> flat(32, sig::Complex{0.7, 0.0});
+  const auto blind = sig::estimate_snr_blind(flat);  // zero variance
+  EXPECT_TRUE(std::isfinite(blind.snr_db));
+  EXPECT_EQ(blind.snr_db, sig::kSnrEstimateCapDb);
+  // All-zero signal: capped on the other side, still finite.
+  std::vector<sig::Complex> zero(32, sig::Complex{});
+  const auto dead = sig::estimate_snr(zero, zero);
+  EXPECT_EQ(dead.snr_db, -sig::kSnrEstimateCapDb);
+}
+
+ClosedLoopConfig small_config() {
+  ClosedLoopConfig cfg;
+  cfg.distances_m = {1.5, 3.0, 4.3};
+  cfg.probe_packets = 6;
+  cfg.seed = 99;
+  return cfg;
+}
+
+TEST(ClosedLoopStudy, SerialEqualsParallelBitIdentical) {
+  const auto table = RateTable::paper_default();
+  const GoodputModel model;
+  auto cfg = small_config();
+  cfg.threads = 1;
+  const auto serial = run_closed_loop_study(table, model, cfg);
+  cfg.threads = 4;
+  const auto parallel = run_closed_loop_study(table, model, cfg);
+  ASSERT_TRUE(serial.identical(parallel))
+      << "closed-loop study must be bit-identical at any thread count";
+  // And repeatable: a second serial run reproduces everything.
+  cfg.threads = 1;
+  const auto again = run_closed_loop_study(table, model, cfg);
+  EXPECT_TRUE(serial.identical(again));
+}
+
+TEST(ClosedLoopStudy, EstimatedLoopBeatsBaselineEverywhere) {
+  const auto table = RateTable::paper_default();
+  const GoodputModel model;
+  const auto r = run_closed_loop_study(table, model, small_config());
+  ASSERT_EQ(r.points.size(), 3u);
+  for (const auto& pt : r.points) {
+    EXPECT_GE(pt.goodput_estimated_bps, pt.goodput_baseline_bps)
+        << "estimated loop must not lose to the fixed rate at " << pt.distance_m << " m";
+    EXPECT_GT(pt.goodput_oracle_bps, 0.0);
+    EXPECT_EQ(pt.probes_lost, 0) << "probe config must decode across the study span";
+    EXPECT_TRUE(std::isfinite(pt.mean_estimate_db));
+    EXPECT_NEAR(pt.mean_estimate_db, pt.snr_true_db, 4.0);
+  }
+  // At close range the estimated loop must actually adapt up, far above
+  // the most-robust starting assignment.
+  EXPECT_GT(r.points.front().goodput_estimated_bps,
+            4.0 * r.points.front().goodput_baseline_bps);
+}
+
+}  // namespace
+}  // namespace rt::mac

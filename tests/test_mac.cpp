@@ -3,6 +3,8 @@
 // MacLink path.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/rng.h"
 #include "common/units.h"
 #include "mac/arq.h"
@@ -84,6 +86,25 @@ TEST(Discovery, SingleTagOneRound) {
   const auto r = discover_tags({5}, 8, rng);
   EXPECT_EQ(r.rounds, 1);
   EXPECT_EQ(r.discovered, std::vector<std::uint8_t>{5});
+  EXPECT_EQ(r.discovery_round, std::vector<int>{1});
+}
+
+TEST(Discovery, RecordsPerTagRound) {
+  Rng rng(9);
+  std::vector<std::uint8_t> ids;
+  for (int i = 0; i < 20; ++i) ids.push_back(static_cast<std::uint8_t>(i));
+  const auto r = discover_tags(ids, 4, rng);  // small frame forces collisions
+  ASSERT_EQ(r.discovery_round.size(), r.discovered.size());
+  // Rounds are recorded in discovery order, so they are non-decreasing,
+  // start at >= 1, and end at the total round count.
+  for (std::size_t k = 0; k < r.discovery_round.size(); ++k) {
+    EXPECT_GE(r.discovery_round[k], 1);
+    EXPECT_LE(r.discovery_round[k], r.rounds);
+    if (k > 0) {
+      EXPECT_GE(r.discovery_round[k], r.discovery_round[k - 1]);
+    }
+  }
+  EXPECT_EQ(r.discovery_round.back(), r.rounds);
 }
 
 TEST(RateTableTest, SelectsByThresholdAndRate) {
@@ -103,6 +124,29 @@ TEST(RateTableTest, SelectsByThresholdAndRate) {
   const auto& floor = table.select(-30.0);
   EXPECT_NEAR(floor.raw_rate_bps, 1000.0, 1.0);
   EXPECT_GT(table.most_robust().code_rate(), 0.0);
+}
+
+TEST(RateTableTest, FallbackSelectsMinimumThresholdOption) {
+  const auto table = RateTable::paper_default();
+  // Regression: below every threshold the fallback must be the
+  // minimum-threshold option -- 1kbps+RS(255,127) at -7 dB -- not the
+  // first table entry (uncoded 1kbps, 0 dB).
+  const auto& floor = table.select(-30.0);
+  EXPECT_EQ(floor.name, "1kbps+RS(255,127)");
+  EXPECT_NEAR(floor.threshold_db, -7.0, 1e-12);
+  EXPECT_EQ(table.select_index(-30.0), table.most_robust_index());
+  EXPECT_EQ(&table.most_robust(), &table.option(table.most_robust_index()));
+  // A margin high enough to disqualify everything falls back the same way.
+  EXPECT_EQ(table.select_index(0.0, 1000.0), table.most_robust_index());
+}
+
+TEST(RateTableTest, MarginRaisesEntryThresholds) {
+  const auto table = RateTable::paper_default();
+  // 30 dB clears 16k+RS(255,223) (threshold 30) with no margin, but with
+  // a 1.5 dB margin the requirement becomes 31.5 and selection drops to
+  // the 8k family.
+  EXPECT_NEAR(table.option(table.select_index(30.0)).raw_rate_bps, 16000.0, 1.0);
+  EXPECT_NEAR(table.option(table.select_index(30.0, 1.5)).raw_rate_bps, 8000.0, 1.0);
 }
 
 TEST(RateTableTest, CodedVariantsExtendRange) {
@@ -142,6 +186,74 @@ TEST(Goodput, MeasuredCurveOverridesAnalytic) {
   const double mid = model.ber(opt, 25.0);
   EXPECT_GT(mid, 1e-5);
   EXPECT_LT(mid, 0.2);
+}
+
+TEST(Goodput, DuplicateMeasurementPointsStayFinite) {
+  GoodputModel model;
+  RateOption opt{"8k", phy::PhyParams::rate_8kbps(), 8000.0, 28.0, 0, 0};
+  // Regression: repeated measurements at one SNR used to produce a
+  // zero-width interpolation segment and a NaN BER. Duplicates collapse
+  // to their worst (highest) BER.
+  model.add_measurements("8k", {{25.0, 1e-3}, {25.0, 5e-2}, {20.0, 0.2}, {30.0, 1e-5}});
+  for (double snr = 18.0; snr <= 32.0; snr += 0.5) {
+    const double b = model.ber(opt, snr);
+    EXPECT_TRUE(std::isfinite(b)) << "BER not finite at " << snr << " dB";
+    EXPECT_GE(b, 0.0);
+    EXPECT_LE(b, 1.0);
+  }
+  EXPECT_NEAR(model.ber(opt, 25.0), 5e-2, 1e-9);  // worst duplicate kept
+  // All-duplicate curve: a single collapsed point clamps everywhere.
+  GoodputModel flat;
+  flat.add_measurements("8k", {{25.0, 1e-3}, {25.0, 1e-3}, {25.0, 2e-3}});
+  EXPECT_NEAR(flat.ber(opt, 10.0), 2e-3, 1e-12);
+  EXPECT_NEAR(flat.ber(opt, 40.0), 2e-3, 1e-12);
+}
+
+TEST(Network, PerTagTelemetryCountsAndMerges) {
+  const auto table = RateTable::paper_default();
+  const GoodputModel model;
+  NetworkStudyConfig cfg;
+  cfg.trials = 25;
+  Rng rng(11);
+  const auto r = rate_adaptation_study(6, table, model, cfg, rng);
+  ASSERT_EQ(r.per_tag.size(), 6u);
+  for (const auto& t : r.per_tag) {
+    // Every tag is discovered every trial, and runs the full exchange.
+    EXPECT_EQ(t.trials, 25u);
+    EXPECT_GE(t.discovery_rounds, t.trials);  // rounds are 1-based
+    EXPECT_EQ(t.packets_attempted, 25u * static_cast<std::uint64_t>(cfg.arq_packets_per_tag));
+    EXPECT_LE(t.packets_delivered, t.packets_attempted);
+    EXPECT_GE(t.mean_discovery_round(), 1.0);
+  }
+  // Same seeds -> bit-identical telemetry (the ARQ stream splits off
+  // telemetry_seed per trial, independent of the placement Rng state).
+  Rng rng2(11);
+  const auto r2 = rate_adaptation_study(6, table, model, cfg, rng2);
+  EXPECT_EQ(r.per_tag, r2.per_tag);
+  // Merge is a plain sum: two equal runs merge to doubled counters.
+  TagTelemetry merged = r.per_tag[0];
+  merged.merge(r2.per_tag[0]);
+  EXPECT_EQ(merged.trials, 50u);
+  EXPECT_EQ(merged.arq_retries, 2 * r.per_tag[0].arq_retries);
+  EXPECT_NEAR(merged.mean_discovery_round(), r.per_tag[0].mean_discovery_round(), 1e-12);
+}
+
+TEST(Network, TelemetryStreamDoesNotPerturbGoodput) {
+  const auto table = RateTable::paper_default();
+  const GoodputModel model;
+  NetworkStudyConfig a;
+  a.trials = 15;
+  NetworkStudyConfig b = a;
+  b.arq_packets_per_tag = 9;   // different telemetry load...
+  b.telemetry_seed = 12345;    // ...on a different ARQ stream
+  Rng ra(21);
+  Rng rb(21);
+  const auto res_a = rate_adaptation_study(8, table, model, a, ra);
+  const auto res_b = rate_adaptation_study(8, table, model, b, rb);
+  // The goodput aggregates ride only on the placement/discovery stream.
+  EXPECT_EQ(res_a.mean_adaptive_bps, res_b.mean_adaptive_bps);
+  EXPECT_EQ(res_a.mean_baseline_bps, res_b.mean_baseline_bps);
+  EXPECT_EQ(res_a.mean_discovery_rounds, res_b.mean_discovery_rounds);
 }
 
 TEST(Network, RateAdaptationGainGrowsWithTags) {
