@@ -243,7 +243,7 @@ class BenchReport {
       const std::string trace_path = "BENCH_" + name_ + ".trace.json";
       const std::string metrics_path = "BENCH_" + name_ + ".metrics.json";
       obs::write_chrome_trace(trace_path, obs_trace_);
-      obs::write_metrics_json(metrics_path, obs_metrics_);
+      obs::write_metrics_json(metrics_path, obs_metrics_, obs_trace_);
       std::printf("wrote %s + %s (open the trace at chrome://tracing)\n", trace_path.c_str(),
                   metrics_path.c_str());
     }

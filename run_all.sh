@@ -12,6 +12,11 @@ cd "$(dirname "$0")"
 
 BUILD_DIR="${1:-build}"
 
+# Static analysis first: cheap, and a lint failure should stop the run
+# before an hour of benches (clang-tidy stage skips itself when the
+# binary is not installed; rt_lint + rt_check always run).
+bash tools/lint.sh "$BUILD_DIR"
+
 ctest --test-dir "$BUILD_DIR" --output-on-failure 2>&1 | tee test_output.txt
 test "${PIPESTATUS[0]}" -eq 0
 

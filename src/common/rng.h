@@ -64,6 +64,7 @@ class Rng {
 
   /// `n` random payload bits.
   [[nodiscard]] std::vector<std::uint8_t> bits(std::size_t n) {
+    // rt-check: alloc-ok (convenience wrapper; the hot path uses fill_bits into a pooled buffer)
     std::vector<std::uint8_t> out(n);
     fill_bits(out);
     return out;

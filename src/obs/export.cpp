@@ -55,10 +55,15 @@ void write_chrome_trace(const std::string& path, std::span<const SpanRecord> spa
 }
 
 void write_metrics_json(const std::string& path, const MetricsRegistry& m) {
+  write_metrics_json(path, m, std::span<const SpanRecord>{});
+}
+
+void write_metrics_json(const std::string& path, const MetricsRegistry& m,
+                        std::span<const SpanRecord> spans) {
   RT_ENSURE(!path.empty(), "metrics output path must not be empty");
   std::ofstream out(path, std::ios::trunc);
   RT_ENSURE(out.good(), "failed to open metrics output file");
-  out << "{\n  \"schema\": \"rt-metrics-v1\",\n  \"counters\": {";
+  out << "{\n  \"schema\": \"rt-metrics-v2\",\n  \"counters\": {";
   for (std::size_t i = 0; i < kNumCounters; ++i) {
     out << (i == 0 ? "\n" : ",\n") << "    \"" << kCounterInfo[i].name
         << "\": " << m.counters[i];
@@ -80,7 +85,17 @@ void write_metrics_json(const std::string& path, const MetricsRegistry& m) {
     }
     out << "]}";
   }
-  out << "\n  }\n}\n";
+  out << "\n  },\n  \"stages\": {";
+  // std::map keys keep the stage order deterministic across runs.
+  const auto agg = aggregate(spans);
+  bool first_stage = true;
+  for (const auto& [name, a] : agg) {
+    out << (first_stage ? "\n" : ",\n") << "    \"" << name << "\": {\"calls\": " << a.calls
+        << ", \"total_us\": " << static_cast<double>(a.total_ns) / 1e3
+        << ", \"max_us\": " << static_cast<double>(a.max_ns) / 1e3 << "}";
+    first_stage = false;
+  }
+  out << (first_stage ? "}\n}\n" : "\n  }\n}\n");
   RT_ENSURE(out.good(), "failed while writing metrics output file");
 }
 

@@ -18,9 +18,15 @@ namespace rt::obs {
 /// at chrome://tracing or https://ui.perfetto.dev.
 void write_chrome_trace(const std::string& path, std::span<const SpanRecord> spans);
 
-/// Writes the registry as flat JSON (schema "rt-metrics-v1"): a
-/// counters object plus per-histogram count/min/max and the non-empty
-/// log2 buckets as [lower_bound, count] pairs.
+/// Writes the registry as flat JSON (schema "rt-metrics-v2"): a
+/// counters object, per-histogram count/min/max with the non-empty
+/// log2 buckets as [lower_bound, count] pairs, and per-stage wall-time
+/// aggregates (calls/total_us/max_us keyed by span name) when `spans`
+/// is provided. `tools/compare_metrics.py` diffs two of these files.
+void write_metrics_json(const std::string& path, const MetricsRegistry& m,
+                        std::span<const SpanRecord> spans);
+
+/// Overload without span data: the "stages" object is empty.
 void write_metrics_json(const std::string& path, const MetricsRegistry& m);
 
 /// Prints the per-stage wall-time table (aggregated over span names),

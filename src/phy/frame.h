@@ -102,7 +102,9 @@ struct PreamblePattern {
                                                                int first_slot) {
   const auto pattern = PreamblePattern::standard(p.preamble_slots);
   const int max_level = p.levels_per_axis() - 1;
+  // rt-check: alloc-ok (setup-time schedule builder; hot callers cache the result per (params, layout))
   std::vector<lcm::Firing> out;
+  out.reserve(static_cast<std::size_t>(p.preamble_slots));
   for (int i = 0; i < p.preamble_slots; ++i) {
     lcm::Firing f;
     f.time_s = (first_slot + i) * p.slot_s;
@@ -132,10 +134,13 @@ struct TrainingFiring {
 /// tail-only cycles in the trailing guard.
 [[nodiscard]] inline std::vector<TrainingFiring> training_schedule(const PhyParams& p,
                                                                    const FrameLayout& layout) {
+  // rt-check: alloc-ok (setup-time schedule builder; hot callers cache the result per (params, layout))
   std::vector<TrainingFiring> out;
   const int l = p.dsm_order;
   const int modules = p.use_q_channel ? 2 * l : l;
   const int rounds = layout.training_rounds;
+  out.reserve(static_cast<std::size_t>(rounds + layout.guard_cycles()) *
+              static_cast<std::size_t>(modules));
   for (int r = 0; r < rounds + layout.guard_cycles(); ++r) {
     for (int m = 0; m < modules; ++m) {
       TrainingFiring tf;
@@ -164,7 +169,9 @@ struct TrainingFiring {
   const int max_level = p.levels_per_axis() - 1;
   // Group by slot: I and Q module of the same slot index merge into one
   // Firing record.
+  // rt-check: alloc-ok (setup-time schedule builder; hot callers cache the result per (params, layout))
   std::vector<lcm::Firing> out;
+  out.reserve(schedule.size());
   for (const auto& tf : schedule) {
     if (!tf.fired) continue;
     const int slot_module = tf.module_global % l;
@@ -210,11 +217,14 @@ struct PixelTrainingCycle {
 /// in the final rounds) and the single-pixel structure of the rounds.
 [[nodiscard]] inline std::vector<PixelTrainingCycle> pixel_training_schedule(
     const PhyParams& p, const FrameLayout& layout) {
+  // rt-check: alloc-ok (setup-time schedule builder; hot callers cache the result per (params, layout))
   std::vector<PixelTrainingCycle> out;
   if (layout.pixel_rounds == 0) return out;
   const int l = p.dsm_order;
   const int modules = p.use_q_channel ? 2 * l : l;
   const int bits = p.bits_per_axis;
+  out.reserve(static_cast<std::size_t>(layout.pixel_rounds + layout.guard_cycles()) *
+              static_cast<std::size_t>(modules) * static_cast<std::size_t>(bits));
   // Whether this pixel fired, r_rel cycles into the pixel rounds
   // (r_rel < 0 looks back through the guard into the main training, where
   // every pixel of a firing module is driven).
@@ -251,8 +261,10 @@ struct PixelTrainingCycle {
 /// pixel w of every module.
 [[nodiscard]] inline std::vector<lcm::Firing> pixel_training_firings(const PhyParams& p,
                                                                      const FrameLayout& layout) {
+  // rt-check: alloc-ok (setup-time schedule builder; hot callers cache the result per (params, layout))
   std::vector<lcm::Firing> out;
   const int l = p.dsm_order;
+  out.reserve(static_cast<std::size_t>(layout.pixel_rounds) * static_cast<std::size_t>(l));
   for (int r = 0; r < layout.pixel_rounds; ++r) {
     const int level = 1 << (p.bits_per_axis - 1 - r);
     for (int s = 0; s < l; ++s) {

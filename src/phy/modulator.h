@@ -74,6 +74,7 @@ class Modulator {
     // count from the slot count alone (basic DSM keeps whole periods).
     const std::size_t group_bits =
         static_cast<std::size_t>(p_.dsm_order) * static_cast<std::size_t>(bps);
+    // rt-check: alloc-ok (pads less than one firing group inside pooled ws.bits capacity)
     while (bits.size() % group_bits != 0) bits.push_back(0);
     const int payload_symbols = narrow_cast<int>(bits.size()) / bps;
     const int groups = payload_symbols / p_.dsm_order;
@@ -106,6 +107,7 @@ class Modulator {
     // whole schedule sorted without re-sorting (all times are distinct --
     // the full-sort result is the same sequence).
     out.payload_symbols.clear();
+    out.payload_symbols.reserve(static_cast<std::size_t>(payload_symbols));
     for (int s = 0; s < payload_symbols; ++s) {
       const auto offset = static_cast<std::size_t>(s) * static_cast<std::size_t>(bps);
       const auto sym = constellation_.map(std::span(bits).subspan(offset, bps));

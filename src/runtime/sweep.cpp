@@ -7,6 +7,7 @@ namespace rt::runtime {
 
 namespace {
 
+// rt-check: determinism-ok (queue-wait telemetry only; spans and metrics never feed results)
 using Clock = std::chrono::steady_clock;
 
 }  // namespace

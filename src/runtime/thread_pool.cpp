@@ -12,6 +12,7 @@ unsigned hardware_threads() {
 }
 
 unsigned sweep_threads() {
+  // rt-check: determinism-ok (thread-count knob only; sweep results are bit-identical at any thread count)
   const char* v = std::getenv("RT_BENCH_THREADS");
   if (v == nullptr || *v == '\0') return hardware_threads();
   const int n = std::atoi(v);

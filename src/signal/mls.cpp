@@ -48,6 +48,7 @@ std::vector<std::uint8_t> mls(unsigned order) {
   RT_ENSURE(order >= 2 && order <= 24, "mls order must be in [2, 24]");
   const auto& taps = kTaps[order];
   const std::size_t period = (std::size_t{1} << order) - 1;
+  // rt-check: alloc-ok (setup-time: MLS sequences are built once at construction, never per packet)
   std::vector<std::uint8_t> out;
   out.reserve(period);
   // State bit i (0-based) holds shift-register stage i+1.

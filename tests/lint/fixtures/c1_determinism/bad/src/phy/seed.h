@@ -1,0 +1,11 @@
+// BAD exemplar for rt_check C1 (determinism): std::rand is global-state
+// nondeterminism in result-affecting code.
+#pragma once
+
+#include <cstdlib>
+
+namespace rt::phy {
+
+inline int noisy_seed() { return std::rand(); }
+
+}  // namespace rt::phy

@@ -1,0 +1,20 @@
+// CLEAN exemplar for rt_check C1 (determinism): seeds derive from pure
+// (seed, index) mixing, and the one wall-clock use is telemetry-only and
+// carries a justified suppression annotation.
+#pragma once
+
+#include <chrono>
+
+namespace rt::phy {
+
+// rt-check: determinism-ok (queue-wait telemetry only; never feeds results)
+using TelemetryClock = std::chrono::steady_clock;
+
+inline unsigned long derive_stream(unsigned long seed, unsigned long index) {
+  // splitmix-style pure mix; same shape as rt::split_seed.
+  unsigned long z = seed + 0x9e3779b97f4a7c15UL * (index + 1UL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9UL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace rt::phy

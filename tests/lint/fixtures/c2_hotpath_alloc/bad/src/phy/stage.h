@@ -1,0 +1,16 @@
+// BAD exemplar for rt_check C2 (hot-path allocation): a *_into stage
+// entry point that declares a fresh owning container and grows vectors
+// without reserving.
+#pragma once
+
+#include <vector>
+
+namespace rt::phy {
+
+inline void accumulate_into(const std::vector<int>& in, std::vector<int>& out) {
+  std::vector<int> scratch;
+  for (int v : in) scratch.push_back(v);
+  for (int v : scratch) out.push_back(v);
+}
+
+}  // namespace rt::phy

@@ -1,0 +1,23 @@
+// CLEAN exemplar for rt_check C2 (hot-path allocation): scratch lives in
+// a caller-owned workspace and every growing container reserves in the
+// same body.
+#pragma once
+
+#include <vector>
+
+namespace rt::phy {
+
+struct StageWorkspace {
+  std::vector<int> scratch;
+};
+
+inline void accumulate_into(const std::vector<int>& in, StageWorkspace& ws,
+                            std::vector<int>& out) {
+  ws.scratch.clear();
+  ws.scratch.reserve(in.size());
+  for (int v : in) ws.scratch.push_back(v);
+  out.reserve(out.size() + ws.scratch.size());
+  for (int v : ws.scratch) out.push_back(v);
+}
+
+}  // namespace rt::phy

@@ -1,0 +1,11 @@
+// BAD exemplar for rt_check C3 (layering): common is the bottom layer
+// and must not include phy.
+#pragma once
+
+#include "phy/api.h"
+
+namespace rt::common {
+
+inline int answer() { return 42; }
+
+}  // namespace rt::common

@@ -1,0 +1,11 @@
+// CLEAN exemplar for rt_check C3 (layering): phy depending on common is
+// an allowed edge in the spec.
+#pragma once
+
+#include "common/api.h"
+
+namespace rt::phy {
+
+inline int answer() { return 42; }
+
+}  // namespace rt::phy

@@ -1,0 +1,8 @@
+// BAD exemplar for rt_lint R1 (pragma-once): header without an include
+// guard.
+
+namespace rt::fixture {
+
+inline int answer() { return 42; }
+
+}  // namespace rt::fixture

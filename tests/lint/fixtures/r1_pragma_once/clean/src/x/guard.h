@@ -1,0 +1,8 @@
+// CLEAN exemplar for rt_lint R1 (pragma-once).
+#pragma once
+
+namespace rt::fixture {
+
+inline int answer() { return 42; }
+
+}  // namespace rt::fixture

@@ -1,0 +1,11 @@
+// BAD exemplar for rt_lint R2 (using-namespace): namespace-scope using
+// directive in a header pollutes every includer.
+#pragma once
+
+using namespace std;
+
+namespace rt::fixture {
+
+inline int answer() { return 42; }
+
+}  // namespace rt::fixture

@@ -1,0 +1,12 @@
+// CLEAN exemplar for rt_lint R2 (using-namespace): function-local using
+// directives are allowed.
+#pragma once
+
+namespace rt::fixture {
+
+inline int answer() {
+  using namespace std;
+  return 42;
+}
+
+}  // namespace rt::fixture

@@ -1,0 +1,9 @@
+// BAD exemplar for rt_lint R3 (narrow-cast): raw static_cast to a
+// sub-64-bit integer type.
+#pragma once
+
+namespace rt::fixture {
+
+inline int truncate(long v) { return static_cast<int>(v); }
+
+}  // namespace rt::fixture

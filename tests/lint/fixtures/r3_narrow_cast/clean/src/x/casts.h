@@ -1,0 +1,10 @@
+// CLEAN exemplar for rt_lint R3 (narrow-cast): a provably-safe site
+// carries the annotation with its justification.
+#pragma once
+
+namespace rt::fixture {
+
+// rt-lint: narrowing-ok (v is a validated enum ordinal below 2^31)
+inline int truncate(long v) { return static_cast<int>(v); }
+
+}  // namespace rt::fixture

@@ -1,0 +1,8 @@
+// BAD exemplar for rt_lint R4 (ensure-coverage): a translation unit that
+// neither validates preconditions nor carries the waiver annotation.
+
+namespace rt::fixture {
+
+int identity(int v) { return v; }
+
+}  // namespace rt::fixture

@@ -1,0 +1,11 @@
+// CLEAN exemplar for rt_lint R4 (ensure-coverage): the public entry
+// point validates its inputs.
+
+namespace rt::fixture {
+
+int checked_identity(int v) {
+  RT_ENSURE(v >= 0, "value must be non-negative");
+  return v;
+}
+
+}  // namespace rt::fixture

@@ -1,0 +1,9 @@
+// BAD exemplar for rt_lint R5 (span-docs): the span name is not
+// documented in docs/TELEMETRY.md.
+#pragma once
+
+namespace rt::fixture {
+
+inline void traced() { RT_TRACE_SPAN("fixture_span"); }
+
+}  // namespace rt::fixture

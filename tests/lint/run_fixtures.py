@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Golden-fixture tests for the project linters.
+
+Each rule of tools/rt_lint.py (R1-R5) and tools/rt_check (C1-C3) has a
+`bad` fixture that must produce exactly that rule's finding (exit 1) and
+a `clean` fixture that must pass (exit 0). The clean exemplars double as
+documentation of the approved fix or suppression-annotation style.
+
+Registered with ctest as `lint_fixtures`; runs standalone too:
+  python3 tests/lint/run_fixtures.py
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent.parent
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+# All rule tags either linter can emit; a bad fixture must trigger its own
+# tag and none of the others.
+ALL_TAGS = (
+    "pragma-once",
+    "using-namespace",
+    "narrow-cast",
+    "ensure-coverage",
+    "span-docs",
+    "determinism",
+    "hotpath-alloc",
+    "layering",
+    "layering-docs",
+)
+
+
+def rt_lint_cmd(root: Path) -> list[str]:
+    return [sys.executable, str(REPO / "tools" / "rt_lint.py"), str(root)]
+
+
+def rt_check_cmd(root: Path, rule: str, spec: Path | None = None) -> list[str]:
+    cmd = [
+        sys.executable,
+        "-m",
+        "rt_check",
+        "--root",
+        str(root),
+        "--rules",
+        rule,
+        "--engine",
+        "tokens",
+        "--no-doc-drift",
+    ]
+    if spec is not None:
+        cmd += ["--spec", str(spec)]
+    return cmd
+
+
+# fixture directory -> (command builder, expected tag)
+C3_SPEC = FIXTURES / "c3_layering" / "spec.json"
+CASES: dict[str, tuple] = {
+    "r1_pragma_once": (rt_lint_cmd, "pragma-once"),
+    "r2_using_namespace": (rt_lint_cmd, "using-namespace"),
+    "r3_narrow_cast": (rt_lint_cmd, "narrow-cast"),
+    "r4_ensure_coverage": (rt_lint_cmd, "ensure-coverage"),
+    "r5_span_docs": (rt_lint_cmd, "span-docs"),
+    "c1_determinism": (lambda root: rt_check_cmd(root, "C1"), "determinism"),
+    "c2_hotpath_alloc": (lambda root: rt_check_cmd(root, "C2"), "hotpath-alloc"),
+    "c3_layering": (lambda root: rt_check_cmd(root, "C3", C3_SPEC), "layering"),
+}
+
+
+def run(cmd: list[str]) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "tools") + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(cmd, capture_output=True, text=True, env=env)
+
+
+def main() -> int:
+    failures: list[str] = []
+    for fixture, (builder, tag) in sorted(CASES.items()):
+        base = FIXTURES / fixture
+        if not base.is_dir():
+            failures.append(f"{fixture}: fixture directory missing")
+            continue
+
+        bad = run(builder(base / "bad"))
+        if bad.returncode != 1:
+            failures.append(
+                f"{fixture}/bad: expected exit 1, got {bad.returncode}\n"
+                f"  stdout: {bad.stdout.strip()}\n  stderr: {bad.stderr.strip()}"
+            )
+        if f"[{tag}]" not in bad.stdout:
+            failures.append(
+                f"{fixture}/bad: expected a [{tag}] finding, got:\n"
+                f"  stdout: {bad.stdout.strip()}"
+            )
+        for other in ALL_TAGS:
+            if other != tag and f"[{other}]" in bad.stdout:
+                failures.append(
+                    f"{fixture}/bad: unexpected [{other}] finding "
+                    "(bad exemplars must trigger exactly their own rule):\n"
+                    f"  stdout: {bad.stdout.strip()}"
+                )
+
+        clean = run(builder(base / "clean"))
+        if clean.returncode != 0:
+            failures.append(
+                f"{fixture}/clean: expected exit 0, got {clean.returncode}\n"
+                f"  stdout: {clean.stdout.strip()}\n  stderr: {clean.stderr.strip()}"
+            )
+
+        status = "FAIL" if any(f.startswith(fixture) for f in failures) else "ok"
+        print(f"  {fixture:<22} [{tag}] ... {status}")
+
+    if failures:
+        print(f"\n{len(failures)} fixture failure(s):", file=sys.stderr)
+        for f in failures:
+            print(f"- {f}", file=sys.stderr)
+        return 1
+    print(f"lint_fixtures: all {len(CASES)} rules verified (bad + clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

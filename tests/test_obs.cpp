@@ -220,7 +220,7 @@ TEST(ExportTest, ChromeTraceAndMetricsJsonAreWellFormed) {
   const auto trace_path = dir / "rt_test_obs_trace.json";
   const auto metrics_path = dir / "rt_test_obs_metrics.json";
   write_chrome_trace(trace_path.string(), spans);
-  write_metrics_json(metrics_path.string(), m);
+  write_metrics_json(metrics_path.string(), m, spans);
 
   const std::string trace = slurp(trace_path);
   EXPECT_NE(trace.find("\"traceEvents\":["), std::string::npos);
@@ -229,10 +229,14 @@ TEST(ExportTest, ChromeTraceAndMetricsJsonAreWellFormed) {
   EXPECT_NE(trace.find("\"args\":{\"depth\":1}"), std::string::npos);
 
   const std::string metrics = slurp(metrics_path);
-  EXPECT_NE(metrics.find("\"schema\": \"rt-metrics-v1\""), std::string::npos);
+  EXPECT_NE(metrics.find("\"schema\": \"rt-metrics-v2\""), std::string::npos);
   EXPECT_NE(metrics.find("\"packets_simulated\": 7"), std::string::npos);
   EXPECT_NE(metrics.find("\"equalizer_residual\""), std::string::npos);
   EXPECT_NE(metrics.find("\"count\": 2"), std::string::npos);
+  // Per-stage aggregates from the span list (one entry per span name).
+  EXPECT_NE(metrics.find("\"stages\""), std::string::npos);
+  EXPECT_NE(metrics.find("\"inner_test\": {\"calls\": 1, \"total_us\": 0.4"), std::string::npos);
+  EXPECT_NE(metrics.find("\"outer_test\": {\"calls\": 1, \"total_us\": 2"), std::string::npos);
   // Every counter exports, even zero-valued ones (fixed schema).
   EXPECT_NE(metrics.find("\"trace_spans_dropped\": 0"), std::string::npos);
   std::filesystem::remove(trace_path);

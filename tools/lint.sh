@@ -1,14 +1,21 @@
 #!/usr/bin/env bash
 # Static-analysis gate: clang-tidy over every translation unit (when
-# clang-tidy is installed) + the project linter tools/rt_lint.py.
+# clang-tidy is installed), the project linter tools/rt_lint.py, and the
+# AST-level invariant checker tools/rt_check (determinism, hot-path
+# allocations, module layering).
 #
 # Usage: tools/lint.sh [build-dir]
 #   build-dir: a configured build tree containing compile_commands.json
 #              (default: build; the top-level CMakeLists exports it).
 #
-# Exit status is non-zero if either stage reports findings. When clang-tidy
+# Exit status is non-zero if any stage reports findings. When clang-tidy
 # is not installed (e.g. the minimal container image) that stage is skipped
 # with a warning; CI always installs it, so the gate stays meaningful.
+# rt_check likewise prefers libclang and falls back to its token-level
+# engine when clang.cindex is unavailable.
+#
+# Set RT_CHECK_JSON to also write the rt_check findings as JSON (CI
+# uploads this as an artifact).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,7 +29,9 @@ if command -v clang-tidy >/dev/null 2>&1; then
     echo "  cmake -B $BUILD_DIR -S ." >&2
     exit 2
   fi
-  mapfile -t TUS < <(find src tests bench examples -name '*.cpp' | sort)
+  # tests/lint/ holds linter fixtures (intentionally bad code, not built).
+  mapfile -t TUS < <(find src tests bench examples -name '*.cpp' \
+    -not -path 'tests/lint/*' | sort)
   echo "lint.sh: clang-tidy over ${#TUS[@]} translation units"
   if command -v run-clang-tidy >/dev/null 2>&1; then
     run-clang-tidy -quiet -p "$BUILD_DIR" "${TUS[@]}" || STATUS=1
@@ -38,6 +47,15 @@ fi
 # --- Stage 2: project rules --------------------------------------------------
 echo "lint.sh: rt_lint project rules"
 python3 tools/rt_lint.py || STATUS=1
+
+# --- Stage 3: rt_check invariants (C1 determinism, C2 hot-path alloc,
+# C3 layering + doc drift) ----------------------------------------------------
+echo "lint.sh: rt_check invariants"
+RT_CHECK_ARGS=()
+if [ -n "${RT_CHECK_JSON:-}" ]; then
+  RT_CHECK_ARGS+=(--json "$RT_CHECK_JSON")
+fi
+python3 tools/rt_check "${RT_CHECK_ARGS[@]}" || STATUS=1
 
 if [ "$STATUS" -ne 0 ]; then
   echo "lint.sh: FAILED" >&2

@@ -1,0 +1,30 @@
+"""rt_check: AST-level invariant enforcement for the RetroTurbo repo.
+
+Three rule families on top of the regex-grade tools/rt_lint.py (R1-R5):
+
+  C1 determinism    result-affecting code under src/ must not consult wall
+                    clocks, ambient entropy, the environment, or
+                    iteration-order-unstable containers; all randomness
+                    flows through rt::split_seed streams.
+  C2 hotpath-alloc  the packet hot path (call graph rooted at
+                    sim::LinkSimulator::run_packet and the stage *_into
+                    entry points) must not construct heap-owning objects:
+                    no `new`, make_unique/make_shared, std::function,
+                    unreserved push_back, or std::string building. Static
+                    complement to tests/test_alloc.cpp, which only covers
+                    dynamically exercised paths.
+  C3 layering       every project #include in src/ obeys the module DAG in
+                    tools/rt_check/layering.json, and the spec's canonical
+                    rendering matches docs/ARCHITECTURE.md byte for byte.
+
+Engine: libclang (python clang.cindex) when importable, with a graceful
+token-level fallback otherwise -- both produce the same FunctionIndex
+shape consumed by the rules. Suppression syntax (same/previous line):
+
+    // rt-check: <rule>-ok (<why>)        rule in {determinism, alloc, layering}
+
+The `(<why>)` is mandatory; an annotation without a reason does not
+suppress. See DESIGN.md "Static analysis" and tools/lint.sh.
+"""
+
+__version__ = "1.0"

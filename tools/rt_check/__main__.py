@@ -1,0 +1,136 @@
+"""rt_check CLI.
+
+Usage:
+  python3 tools/rt_check [--root DIR] [--rules C1,C2,C3] [--json OUT]
+                         [--spec PATH] [--engine auto|clang|tokens]
+                         [--no-doc-drift] [--print-spec] [-v]
+
+Exit status: 0 clean, 1 findings, 2 bad invocation / broken spec.
+Human output mirrors rt_lint (`path:line: [rule] message`); --json writes
+the same findings as a machine-readable report (uploaded as a CI
+artifact by the lint job).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):
+    # Invoked as `python3 tools/rt_check`: bootstrap the package so the
+    # relative imports below resolve (same behaviour as `python3 -m
+    # rt_check` with tools/ on PYTHONPATH).
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+    __package__ = "rt_check"  # noqa: A001
+
+from . import __version__
+from .source import iter_source_files
+from . import cpp_index
+from .rules import (check_determinism, check_hotpath_alloc, check_layering,
+                    load_layering_spec, render_layering_spec)
+
+RULE_IDS = ("C1", "C2", "C3")
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(prog="rt_check", description=__doc__)
+    ap.add_argument("--root", type=Path,
+                    default=Path(__file__).resolve().parent.parent.parent,
+                    help="repo root to scan (default: this checkout)")
+    ap.add_argument("--rules", default="C1,C2,C3",
+                    help="comma-separated subset of C1,C2,C3")
+    ap.add_argument("--json", type=Path, default=None,
+                    help="write findings as JSON to this path")
+    ap.add_argument("--spec", type=Path, default=None,
+                    help="layering spec (default: <package>/layering.json)")
+    ap.add_argument("--engine", choices=("auto", "clang", "tokens"),
+                    default="auto", help="C2 indexing engine")
+    ap.add_argument("--no-doc-drift", action="store_true",
+                    help="skip the ARCHITECTURE.md byte-for-byte spec check")
+    ap.add_argument("--print-spec", action="store_true",
+                    help="print the canonical DAG rendering and exit")
+    ap.add_argument("-v", "--verbose", action="store_true")
+    args = ap.parse_args(argv)
+
+    rules = [r.strip().upper() for r in args.rules.split(",") if r.strip()]
+    bad = [r for r in rules if r not in RULE_IDS]
+    if bad:
+        print(f"rt_check: unknown rule(s): {', '.join(bad)}", file=sys.stderr)
+        return 2
+
+    spec_path = args.spec or Path(__file__).resolve().parent / "layering.json"
+    try:
+        spec = load_layering_spec(spec_path)
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print(f"rt_check: cannot load layering spec: {e}", file=sys.stderr)
+        return 2
+
+    if args.print_spec:
+        sys.stdout.write(render_layering_spec(spec))
+        return 0
+
+    root = args.root.resolve()
+    if not (root / "src").is_dir():
+        print(f"rt_check: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    files = list(iter_source_files(root))
+    findings = []
+    engine = "n/a"
+
+    if "C1" in rules:
+        findings.extend(check_determinism(files))
+
+    if "C2" in rules:
+        index = None
+        if args.engine in ("auto", "clang"):
+            try:
+                from . import clang_backend
+                index = clang_backend.build_index(files, root)
+                engine = "clang"
+            except clang_backend.EngineUnavailable as e:
+                if args.engine == "clang":
+                    print(f"rt_check: clang engine unavailable: {e}",
+                          file=sys.stderr)
+                    return 2
+                print(f"rt_check: note: {e}; using token-level engine",
+                      file=sys.stderr)
+        if index is None:
+            index = cpp_index.build_index(files)
+            engine = "tokens"
+        c2, reachable = check_hotpath_alloc(files, index)
+        findings.extend(c2)
+        if args.verbose:
+            print(f"rt_check: C2 engine={engine}, "
+                  f"{len(index.functions)} functions indexed, "
+                  f"{len(reachable)} reachable from the hot-path roots",
+                  file=sys.stderr)
+
+    if "C3" in rules:
+        findings.extend(check_layering(files, spec, root,
+                                       check_docs=not args.no_doc_drift))
+
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    for f in findings:
+        print(f.render())
+    if args.json:
+        report = {
+            "tool": "rt_check",
+            "version": __version__,
+            "engine": engine,
+            "rules": rules,
+            "files_scanned": len(files),
+            "findings": [f.as_json() for f in findings],
+        }
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(json.dumps(report, indent=2) + "\n",
+                             encoding="utf-8")
+    print(f"rt_check: scanned {len(files)} files, rules {','.join(rules)}, "
+          f"{len(findings)} finding(s)", file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

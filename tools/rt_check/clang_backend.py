@@ -1,0 +1,143 @@
+"""libclang (python clang.cindex) function indexer.
+
+Produces the same FunctionIndex shape as the token engine, but with a
+real AST: qualified names come from semantic parents and call edges from
+CALL_EXPR referents, so the C2 reachability set is tighter (fewer
+name-collision edges) while findings stay line-identical -- the alloc
+patterns are applied to the same body text offsets either way.
+
+This backend is strictly best-effort: any import, library-load, or parse
+failure raises EngineUnavailable and the driver falls back to the token
+engine with a note. The container this repo usually builds in has no
+libclang, so the fallback IS the battle-tested path; CI exercises
+whichever is available (install `python3-clang` to opt in).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .cpp_index import FunctionDef, FunctionIndex, _collect_callees
+from .source import SourceFile
+
+
+class EngineUnavailable(RuntimeError):
+    pass
+
+
+def _load_cindex():
+    try:
+        from clang import cindex  # type: ignore[import-not-found]
+    except ImportError as e:
+        raise EngineUnavailable(f"clang.cindex not importable ({e})") from e
+    try:
+        cindex.Index.create()
+    except Exception as e:  # LibclangError, OSError: no libclang.so
+        raise EngineUnavailable(f"libclang not loadable ({e})") from e
+    return cindex
+
+
+def _compile_args(root: Path) -> dict[str, list[str]]:
+    """Per-file compiler args from any build*/compile_commands.json, with a
+    generic fallback for files not in the database (headers, fresh TUs)."""
+    args: dict[str, list[str]] = {}
+    for db in sorted(root.glob("build*/compile_commands.json")):
+        try:
+            for entry in json.loads(db.read_text(encoding="utf-8")):
+                cmd = entry.get("command", "")
+                toks = [t for t in cmd.split()[1:]
+                        if t.startswith(("-I", "-D", "-std="))]
+                args[str(Path(entry["directory"]) / entry["file"])] = toks
+        except Exception:
+            continue
+        break
+    return args
+
+
+_DEFAULT_ARGS = ["-std=c++20", "-xc++"]
+
+
+def build_index(files: list[SourceFile], root: Path) -> FunctionIndex:
+    cindex = _load_cindex()
+    index = FunctionIndex(engine="clang")
+    per_file_args = _compile_args(root)
+    by_rel = {sf.rel: sf for sf in files}
+    ci = cindex.Index.create()
+    fn_kinds = {
+        cindex.CursorKind.FUNCTION_DECL,
+        cindex.CursorKind.CXX_METHOD,
+        cindex.CursorKind.CONSTRUCTOR,
+        cindex.CursorKind.DESTRUCTOR,
+        cindex.CursorKind.CONVERSION_FUNCTION,
+    }
+    seen_bodies: set[tuple[str, int]] = set()
+    parsed_any = False
+
+    def qualname(cur) -> str:
+        parts = []
+        c = cur
+        while c is not None and c.kind != cindex.CursorKind.TRANSLATION_UNIT:
+            if c.spelling:
+                parts.append(c.spelling)
+            c = c.semantic_parent
+        return "::".join(reversed(parts))
+
+    def visit(cur, sf_lookup):
+        for child in cur.get_children():
+            loc_file = child.location.file
+            rel = None
+            if loc_file is not None:
+                try:
+                    rel = Path(loc_file.name).resolve().relative_to(
+                        root.resolve()).as_posix()
+                except ValueError:
+                    rel = None
+            if rel is None or rel not in sf_lookup:
+                continue
+            if child.kind in fn_kinds and child.is_definition():
+                sf = sf_lookup[rel]
+                ext = child.extent
+                # Body offsets: find the opening brace inside the extent.
+                start = ext.start.offset
+                end = ext.end.offset
+                brace = sf.stripped.find("{", start, end)
+                if brace == -1:
+                    continue
+                key = (rel, brace)
+                if key in seen_bodies:
+                    continue
+                seen_bodies.add(key)
+                body = sf.stripped[brace:end]
+                callees = set()
+                stack = [child]
+                while stack:
+                    node = stack.pop()
+                    for sub in node.get_children():
+                        if sub.kind == cindex.CursorKind.CALL_EXPR and sub.spelling:
+                            callees.add(sub.spelling)
+                        stack.append(sub)
+                # Union with textual candidates so macro-expanded calls
+                # (RT_* wrappers) are not lost.
+                callees |= _collect_callees(body)
+                index.add(FunctionDef(
+                    qualname=qualname(child), name=child.spelling or "?",
+                    file=rel, line=sf.line_of(brace),
+                    body_start=brace, body_end=end, callees=callees))
+            visit(child, sf_lookup)
+
+    for sf in files:
+        if not sf.rel.endswith(".cpp"):
+            continue
+        abs_path = str((root / sf.rel).resolve())
+        args = per_file_args.get(abs_path, _DEFAULT_ARGS + [f"-I{root / 'src'}"])
+        try:
+            tu = ci.parse(abs_path, args=args)
+        except Exception as e:
+            raise EngineUnavailable(f"parse failed for {sf.rel} ({e})") from e
+        visit(tu.cursor, by_rel)
+        parsed_any = True
+
+    if not parsed_any or not index.functions:
+        raise EngineUnavailable("libclang produced an empty index")
+    return index

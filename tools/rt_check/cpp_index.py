@@ -1,0 +1,230 @@
+"""Token-level C++ function indexer (the libclang fallback engine).
+
+Parses stripped source text into a brace tree, classifies each braced
+group at namespace/class scope as a namespace, a type, or a function
+definition, and records every function body with its qualified name and
+the call-candidate identifiers inside it. Lambdas and nested blocks are
+absorbed into their enclosing function, which is exactly what the
+hot-path reachability rule wants.
+
+This is a heuristic parser, not a compiler: it over-approximates the
+call graph (a call edge exists to every indexed function sharing the
+callee's name), which errs on the side of flagging more hot-path code --
+the safe direction for an allocation lint. tests/lint fixtures pin its
+behavior on both firing and clean exemplars.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from .source import SourceFile
+
+# Identifiers that look like calls but never are (or whose parens are not
+# call expressions).
+NOT_A_CALL = frozenset({
+    "if", "for", "while", "switch", "return", "sizeof", "alignof", "alignas",
+    "decltype", "noexcept", "static_assert", "catch", "throw", "assert",
+    "defined", "case", "new", "delete", "co_await", "co_return", "co_yield",
+    "requires", "explicit", "operator", "typeid",
+})
+
+# Headers introducing a scope that is not a function.
+SCOPE_KEYWORDS = ("namespace", "class", "struct", "union", "enum")
+
+CALL_RE = re.compile(r"([A-Za-z_][\w]*(?:::[A-Za-z_][\w]*)*)\s*\(")
+IDENT_RE = re.compile(r"[A-Za-z_][\w]*")
+
+
+@dataclass
+class FunctionDef:
+    qualname: str          # e.g. "rt::phy::DfeEqualizer::equalize_into"
+    name: str              # last component, e.g. "equalize_into"
+    file: str              # repo-relative path
+    line: int              # 1-based line of the body's opening brace
+    body_start: int        # offset of '{' in the file text
+    body_end: int          # offset one past the matching '}'
+    callees: set[str] = field(default_factory=set)  # simple callee names
+
+
+@dataclass
+class FunctionIndex:
+    functions: list[FunctionDef] = field(default_factory=list)
+    by_name: dict[str, list[FunctionDef]] = field(default_factory=dict)
+    engine: str = "tokens"
+
+    def add(self, fn: FunctionDef) -> None:
+        self.functions.append(fn)
+        self.by_name.setdefault(fn.name, []).append(fn)
+
+
+def _match_brace(text: str, open_at: int) -> int:
+    """Offset one past the brace matching text[open_at] == '{'. Text must
+    already be comment/string-stripped."""
+    depth = 0
+    for i in range(open_at, len(text)):
+        c = text[i]
+        if c == "{":
+            depth += 1
+        elif c == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)
+
+
+def _header_of(text: str, group_start: int, floor: int) -> str:
+    """The declaration text owning the '{' at group_start: everything after
+    the last top-level ';', '}' or '{' above it (but not before floor)."""
+    lo = floor
+    depth = 0
+    # Walk backward; parens/brackets may nest (parameter lists, attributes).
+    i = group_start - 1
+    while i >= floor:
+        c = text[i]
+        if c in ")]":
+            depth += 1
+        elif c in "([":
+            depth -= 1
+        elif depth == 0 and c in ";}{":
+            lo = i + 1
+            break
+        i -= 1
+    return text[lo:group_start]
+
+
+def _function_name(header: str) -> str | None:
+    """Extracts the (possibly qualified) function name from a declaration
+    header: the identifier chain immediately before the first top-level
+    '(' that is not a pseudo-call keyword."""
+    depth = 0
+    angle = 0
+    i = 0
+    n = len(header)
+    while i < n:
+        c = header[i]
+        if c == "<":
+            angle += 1
+        elif c == ">":
+            angle = max(0, angle - 1)
+        elif c in "[":
+            depth += 1
+        elif c in "]":
+            depth = max(0, depth - 1)
+        elif c == "(" and depth == 0 and angle == 0:
+            m = re.search(r"((?:~?[A-Za-z_][\w]*)(?:\s*::\s*~?[A-Za-z_][\w]*)*)\s*$",
+                          header[:i])
+            if m:
+                name = re.sub(r"\s+", "", m.group(1))
+                last = name.split("::")[-1].lstrip("~")
+                if last not in NOT_A_CALL:
+                    return name
+            # keyword paren (e.g. decltype(...)) -- skip past it
+            j = i
+            d = 0
+            while j < n:
+                if header[j] == "(":
+                    d += 1
+                elif header[j] == ")":
+                    d -= 1
+                    if d == 0:
+                        break
+                j += 1
+            i = j
+        i += 1
+    return None
+
+
+def _scope_kind(header: str) -> tuple[str, str] | None:
+    """Classifies a header that opens a non-function scope. Returns
+    (kind, name) with kind in {namespace, type, other} or None when the
+    header is a function candidate."""
+    toks = IDENT_RE.findall(header)
+    if not toks:
+        return ("other", "")
+    if "namespace" in toks:
+        # `namespace rt::sim {` or anonymous `namespace {`
+        m = re.search(r"namespace\s+([\w:]+)\s*$", header.strip())
+        return ("namespace", m.group(1) if m else "")
+    # A type definition header has class/struct/... as a keyword and no
+    # parameter list after the type name (methods are handled as functions).
+    for kw in ("class", "struct", "union", "enum"):
+        if kw in toks:
+            if "(" in header:
+                # e.g. `struct X make_x()` would be a function returning X;
+                # fall through to function classification.
+                return None
+            m = re.search(kw + r"\s+(?:alignas\s*\([^)]*\)\s*)?"
+                               r"(?:\[\[[^\]]*\]\]\s*)?(?:class\s+)?([\w:]+)", header)
+            return ("type", m.group(1) if m else "")
+    return None
+
+
+def _collect_callees(body: str) -> set[str]:
+    callees: set[str] = set()
+    for m in CALL_RE.finditer(body):
+        name = m.group(1)
+        simple = name.split("::")[-1]
+        if simple in NOT_A_CALL or name in NOT_A_CALL:
+            continue
+        callees.add(simple)
+    return callees
+
+
+def _index_region(sf: SourceFile, text: str, lo: int, hi: int,
+                  scope: list[str], index: FunctionIndex) -> None:
+    """Recursively indexes [lo, hi) of the stripped text at namespace/class
+    scope."""
+    i = lo
+    floor = lo
+    while i < hi:
+        c = text[i]
+        if c == "{":
+            end = _match_brace(text, i)
+            header = _header_of(text, i, floor)
+            kind = _scope_kind(header)
+            if kind is not None and kind[0] == "namespace":
+                parts = [p for p in kind[1].split("::") if p]
+                _index_region(sf, text, i + 1, end - 1, scope + parts, index)
+            elif kind is not None and kind[0] == "type":
+                name = kind[1].split("::")[-1]
+                _index_region(sf, text, i + 1, end - 1, scope + [name], index)
+            elif kind is not None:
+                pass  # `= {...}` initializer, extern "C", attribute blob, ...
+            else:
+                fname = _function_name(header)
+                if fname is not None:
+                    qual = "::".join([p for p in scope if p] + [fname]) \
+                        if "::" not in fname else "::".join(
+                            [p for p in scope if p] + fname.split("::"))
+                    body = text[i:end]
+                    fn = FunctionDef(
+                        qualname=qual,
+                        name=fname.split("::")[-1],
+                        file=sf.rel,
+                        line=sf.line_of(i),
+                        body_start=i,
+                        body_end=end,
+                        callees=_collect_callees(body),
+                    )
+                    index.add(fn)
+                # else: data initializer / unrecognized -- skip.
+            floor = end
+            i = end
+        elif c == ";":
+            floor = i + 1
+            i += 1
+        else:
+            i += 1
+
+
+def index_file(sf: SourceFile, index: FunctionIndex) -> None:
+    _index_region(sf, sf.stripped, 0, len(sf.stripped), [], index)
+
+
+def build_index(files: list[SourceFile]) -> FunctionIndex:
+    index = FunctionIndex()
+    for sf in files:
+        index_file(sf, index)
+    return index

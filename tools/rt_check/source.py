@@ -1,0 +1,139 @@
+"""Source-file model shared by every rt_check rule.
+
+Loads a C++ file once, strips comments and string/char literals while
+preserving the byte-for-byte line structure (so offsets map to line
+numbers exactly), and parses `// rt-check: <rule>-ok (<why>)`
+suppression annotations from the raw text.
+"""
+
+from __future__ import annotations
+
+import bisect
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+# Annotation must carry a non-empty parenthesised reason; a bare tag does
+# not suppress (same contract as rt-lint's narrowing-ok).
+SUPPRESS_RE = re.compile(r"//\s*rt-check:\s*([a-z]+)-ok\s*\(([^)]+)\)")
+
+#: rule-id -> annotation tag
+RULE_TAGS = {
+    "determinism": "determinism",
+    "hotpath-alloc": "alloc",
+    "layering": "layering",
+}
+
+
+@dataclass
+class Finding:
+    path: str  # repo-relative, posix
+    line: int  # 1-based
+    rule: str  # "determinism" | "hotpath-alloc" | "layering" | "layering-docs"
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def as_json(self) -> dict:
+        return {"path": self.path, "line": self.line, "rule": self.rule,
+                "message": self.message}
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Replaces comment and string/char literal *contents* with spaces,
+    keeping every newline, so the stripped text has identical offsets and
+    line numbers to the original. Handles //, /* */, "...", '...', and
+    R"delim(...)delim" raw strings."""
+    out = list(text)
+    i, n = 0, len(text)
+
+    def blank(lo: int, hi: int) -> None:
+        for k in range(lo, hi):
+            if out[k] != "\n":
+                out[k] = " "
+
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            blank(i, j)
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            blank(i, j)
+            i = j
+        elif c == "R" and text[i:i + 2] == 'R"':
+            m = re.match(r'R"([^()\s\\]{0,16})\(', text[i:])
+            if not m:
+                i += 1
+                continue
+            close = ")" + m.group(1) + '"'
+            j = text.find(close, i + m.end())
+            j = n if j == -1 else j + len(close)
+            blank(i, j)
+            i = j
+        elif c in "\"'":
+            # Skip char/string literal; keep the quotes so tokens on either
+            # side stay separated.
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            blank(i + 1, j - 1)
+            i = j
+        else:
+            i += 1
+    return "".join(out)
+
+
+@dataclass
+class SourceFile:
+    rel: str  # repo-relative posix path
+    raw: str
+    stripped: str
+    raw_lines: list[str] = field(default_factory=list)
+    _line_starts: list[int] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: Path, rel: str) -> "SourceFile":
+        raw = path.read_text(encoding="utf-8", errors="replace")
+        sf = cls(rel=rel, raw=raw, stripped=strip_comments_and_strings(raw))
+        sf.raw_lines = raw.splitlines()
+        starts, off = [0], 0
+        for line in raw.split("\n")[:-1]:
+            off += len(line) + 1
+            starts.append(off)
+        sf._line_starts = starts
+        return sf
+
+    def line_of(self, offset: int) -> int:
+        """1-based line number of a byte offset (valid for raw AND stripped
+        text -- stripping preserves offsets)."""
+        return bisect.bisect_right(self._line_starts, offset)
+
+    def suppressed(self, line: int, rule: str) -> bool:
+        """True when `line` (or the line above it) carries a
+        `// rt-check: <tag>-ok (<why>)` annotation for this rule."""
+        tag = RULE_TAGS.get(rule, rule)
+        for ln in (line, line - 1):
+            if 1 <= ln <= len(self.raw_lines):
+                m = SUPPRESS_RE.search(self.raw_lines[ln - 1])
+                if m and m.group(1) == tag and m.group(2).strip():
+                    return True
+        return False
+
+
+def iter_source_files(root: Path, subdirs: tuple[str, ...] = ("src",)):
+    """Yields SourceFile for every .h/.cpp under the given subdirs, sorted
+    for deterministic output."""
+    for sub in subdirs:
+        base = root / sub
+        if not base.is_dir():
+            continue
+        for path in sorted(p for p in base.rglob("*") if p.suffix in (".h", ".cpp")):
+            yield SourceFile.load(path, path.relative_to(root).as_posix())
