@@ -29,6 +29,9 @@
 #include "mac/mac_link.h"
 #include "mac/rate_table.h"
 #include "sim/link_sim.h"
+#include "stream/sim_source.h"
+#include "stream/source.h"
+#include "stream/streaming_receiver.h"
 
 namespace retroturbo {
 

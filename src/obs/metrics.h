@@ -52,6 +52,11 @@ enum class Counter : std::uint32_t {
   kMacDiscoveryRounds,    ///< slotted-ALOHA discovery rounds run by the MAC
   kMacArqRetries,         ///< stop-and-wait ARQ retransmissions
   kMacRateSwitches,       ///< closed-loop rate-assignment changes
+  kStreamSamplesPushed,   ///< IQ samples consumed by the streaming receiver
+  kStreamFramesDecoded,   ///< frames the streaming receiver delivered
+  kStreamSofRejects,      ///< gate crossings refused by the soft SOF check
+  kStreamDecodeRejects,   ///< decode windows the packet pipeline refused
+  kStreamTruncatedFrames, ///< frames cut off by end-of-stream at flush
   kCount
 };
 
@@ -79,6 +84,11 @@ inline constexpr std::array<CounterInfo, kNumCounters> kCounterInfo{{
     {"mac_discovery_rounds", "rounds"},
     {"mac_arq_retries", "retries"},
     {"mac_rate_switches", "switches"},
+    {"stream_samples_pushed", "samples"},
+    {"stream_frames_decoded", "frames"},
+    {"stream_sof_rejects", "windows"},
+    {"stream_decode_rejects", "windows"},
+    {"stream_truncated_frames", "frames"},
 }};
 
 /// Distribution metrics. Keep in sync with kHistogramInfo below and

@@ -49,6 +49,18 @@ class Modulator {
   /// Number of padding-free payload bits per slot.
   [[nodiscard]] int bits_per_slot() const { return constellation_.bits_per_symbol(); }
 
+  /// Payload slot count a `payload_bits`-bit payload occupies after
+  /// padding to whole firing groups -- the frame-geometry contract a
+  /// streaming receiver needs before it has seen any packet. Matches
+  /// modulate()'s layout exactly.
+  [[nodiscard]] int payload_slots_for(std::size_t payload_bits) const {
+    const auto bps = static_cast<std::size_t>(bits_per_slot());
+    const std::size_t group_bits = static_cast<std::size_t>(p_.dsm_order) * bps;
+    const std::size_t padded = ((payload_bits + group_bits - 1) / group_bits) * group_bits;
+    const int groups = narrow_cast<int>(padded / group_bits);
+    return groups * p_.period_slots();
+  }
+
   /// Builds a full packet. `payload_bits` is scrambled (DC balance,
   /// footnote 4), zero-padded to a whole number of slots, and mapped to
   /// symbols. Set `scramble` false for raw-waveform experiments.

@@ -86,6 +86,11 @@ class PreambleProcessor {
 
   [[nodiscard]] const std::vector<Complex>& reference() const { return reference_; }
 
+  /// Pre-centred reference + cached energy, for callers running their own
+  /// correlation scans against the same reference (the streaming
+  /// receiver's continuous search).
+  [[nodiscard]] const sig::CenteredRef& centered_reference() const { return centered_ref_; }
+
  private:
   /// Solves the (a, b, c) regression of the reference onto rx at `offset`;
   /// returns the normalized residual.

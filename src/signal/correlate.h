@@ -95,6 +95,33 @@ inline void sliding_correlation_centered_into(std::span<const Complex> x,
   }
 }
 
+/// Complex-valued centred normalized correlation at ONE alignment `t`.
+/// Unlike the sliding variants, the window mean/energy are accumulated
+/// inside the window itself (no prefix sums), so the result is an exact
+/// pure function of x[t, t + ref) alone -- independent of where the
+/// enclosing buffer starts. The streaming receiver's continuous scan
+/// depends on this for bit-identical chunk-size invariance: its scratch
+/// block origins move with stream arrival, which would perturb
+/// prefix-sum rounding. |result| matches the magnitude variant up to
+/// floating-point rounding of the normalization.
+[[nodiscard]] inline Complex correlation_centered_at(std::span<const Complex> x,
+                                                     const CenteredRef& cref, std::size_t t) {
+  const auto& ref = cref.ref;
+  const std::size_t k = ref.size();
+  if (k == 0 || cref.energy == 0.0 || t + k > x.size()) return Complex{};
+  Complex acc{};
+  Complex wsum{};
+  double wenergy = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const Complex v = x[t + i];
+    acc += std::conj(ref[i]) * v;
+    wsum += v;
+    wenergy += std::norm(v);
+  }
+  const double centred_energy = wenergy - std::norm(wsum) / static_cast<double>(k);
+  return centred_energy > 1e-300 ? acc / std::sqrt(cref.energy * centred_energy) : Complex{};
+}
+
 /// Mean-invariant normalized correlation: both the reference and each
 /// window of `x` are centred before correlating, so a DC offset (the
 /// relaxed-pixel baseline in VLBC reception) cannot bias the peak. Using a

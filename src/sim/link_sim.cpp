@@ -81,21 +81,8 @@ LinkSimulator::PacketOutcome LinkSimulator::transmit_into(
   // All stage spans/metrics of this packet land in the workspace recorder.
   const obs::ScopedBind obs_bind(ws.obs);
   RT_TRACE_SPAN("packet");
-  modulator_.modulate_into(payload_bits, ws.tx, ws.schedule);
-  auto& pkt = ws.schedule;
-
-  // Random pre-padding: the reader does not know when the packet starts.
-  // The shift happens in place; the next modulate_into() rebuilds the
-  // schedule from the cached prefix, so the offset never accumulates.
-  const int pad_slots =
-      opts_.max_pad_slots > 0 ? narrow_cast<int>(pad_rng.uniform_int(0, opts_.max_pad_slots)) : 0;
-  const double pad_s = pad_slots * params_.slot_s;
-  for (auto& f : pkt.firings) f.time_s += pad_s;
-  const double duration = pad_s + pkt.duration_s + params_.symbol_duration_s();
-
-  if (!ws.channel || ws.channel->channel_id() != channel_.id())
-    ws.channel.emplace(channel_.make_realization());
-  ws.channel->synthesize_into(pkt.firings, duration, noise_rng, ws.synth, ws.rx);
+  render_into(payload_bits, pad_rng, noise_rng, ws);
+  const auto& pkt = ws.schedule;
 
   phy::DemodOptions dopts;
   dopts.online_training = opts_.online_training && !opts_.oracle_templates;
@@ -122,6 +109,26 @@ LinkSimulator::PacketOutcome LinkSimulator::transmit_into(
   RT_OBS_COUNT(kPayloadBits, out.bits);
   RT_OBS_COUNT(kBitErrors, out.bit_errors);
   return out;
+}
+
+std::size_t LinkSimulator::render_into(std::span<const std::uint8_t> payload_bits, Rng& pad_rng,
+                                       Rng* noise_rng, PacketWorkspace& ws) const {
+  modulator_.modulate_into(payload_bits, ws.tx, ws.schedule);
+  auto& pkt = ws.schedule;
+
+  // Random pre-padding: the reader does not know when the packet starts.
+  // The shift happens in place; the next modulate_into() rebuilds the
+  // schedule from the cached prefix, so the offset never accumulates.
+  const int pad_slots =
+      opts_.max_pad_slots > 0 ? narrow_cast<int>(pad_rng.uniform_int(0, opts_.max_pad_slots)) : 0;
+  const double pad_s = pad_slots * params_.slot_s;
+  for (auto& f : pkt.firings) f.time_s += pad_s;
+  const double duration = pad_s + pkt.duration_s + params_.symbol_duration_s();
+
+  if (!ws.channel || ws.channel->channel_id() != channel_.id())
+    ws.channel.emplace(channel_.make_realization());
+  ws.channel->synthesize_into(pkt.firings, duration, noise_rng, ws.synth, ws.rx);
+  return static_cast<std::size_t>(pad_slots) * params_.samples_per_slot();
 }
 
 namespace {
@@ -156,6 +163,25 @@ LinkSimulator::PacketOutcome LinkSimulator::run_packet(std::uint64_t packet_inde
   ws.payload.resize(payload_bytes * 8);
   payload_rng.fill_bits(ws.payload);
   return transmit_into(ws.payload, pad_rng, &noise_rng, ws);
+}
+
+LinkSimulator::RenderedPacket LinkSimulator::render_packet_rx(std::uint64_t packet_index,
+                                                              std::size_t payload_bytes,
+                                                              PacketWorkspace& ws) const {
+  RT_ENSURE(payload_bytes >= 1, "need at least one payload byte");
+  const obs::ScopedBind obs_bind(ws.obs);
+  // Exactly run_packet's seed derivations, so the rendered waveform is
+  // bit-identical to what the packet-at-a-time path demodulates.
+  Rng payload_rng(split_seed(opts_.seed, packet_index, kPayloadStream));
+  Rng pad_rng(split_seed(opts_.seed, packet_index, kPadStream));
+  Rng noise_rng(split_seed(channel_.config().noise_seed, packet_index, kNoiseStream));
+  ws.payload.resize(payload_bytes * 8);
+  payload_rng.fill_bits(ws.payload);
+  RenderedPacket out;
+  out.pad_samples = render_into(ws.payload, pad_rng, &noise_rng, ws);
+  out.payload_bits = ws.payload.size();
+  out.payload_slots = ws.schedule.layout.payload_slots;
+  return out;
 }
 
 LinkStats LinkSimulator::run(int packets, std::size_t payload_bytes) const {

@@ -106,6 +106,21 @@ class LinkSimulator {
   [[nodiscard]] PacketOutcome run_packet(std::uint64_t packet_index, std::size_t payload_bytes,
                                          PacketWorkspace& ws) const;
 
+  /// TX -> channel half of run_packet(): renders packet `packet_index`'s
+  /// received waveform into `ws.rx` WITHOUT demodulating it, using exactly
+  /// the same seed derivations (payload, padding, noise) as run_packet --
+  /// so a streaming receiver decoding the concatenation of these
+  /// waveforms sees bit-identical samples to the packet-at-a-time path.
+  /// The payload ground truth remains in `ws.payload`.
+  struct RenderedPacket {
+    std::size_t pad_samples = 0;   ///< random start padding before the preamble
+    std::size_t payload_bits = 0;  ///< ground-truth bit count (ws.payload)
+    int payload_slots = 0;         ///< frame geometry for the receiver
+  };
+  [[nodiscard]] RenderedPacket render_packet_rx(std::uint64_t packet_index,
+                                                std::size_t payload_bytes,
+                                                PacketWorkspace& ws) const;
+
   /// Paper methodology: `packets` packets of `payload_bytes` random bytes.
   /// Equivalent to merging run_packet(0..packets-1) in order, so a serial
   /// run is bit-identical to any parallel partition of the same indices.
@@ -115,6 +130,10 @@ class LinkSimulator {
   [[nodiscard]] const Channel& channel() const { return channel_; }
   [[nodiscard]] const phy::PhyParams& params() const { return params_; }
   [[nodiscard]] double snr_db() const { return channel_.snr_db(); }
+  /// The trained packet pipeline; the streaming receiver shares it so the
+  /// two decode paths are bit-identical.
+  [[nodiscard]] const phy::Demodulator& demodulator() const { return demodulator_; }
+  [[nodiscard]] const SimOptions& options() const { return opts_; }
 
  private:
   /// Runs one packet through the workspace pipeline: modulate into
@@ -125,6 +144,11 @@ class LinkSimulator {
   [[nodiscard]] PacketOutcome transmit_into(std::span<const std::uint8_t> payload_bits,
                                             Rng& pad_rng, Rng* noise_rng,
                                             PacketWorkspace& ws) const;
+
+  /// TX half of transmit_into(): modulate, pad, render through the cached
+  /// channel realization into ws.rx. Returns the padding in samples.
+  std::size_t render_into(std::span<const std::uint8_t> payload_bits, Rng& pad_rng,
+                          Rng* noise_rng, PacketWorkspace& ws) const;
 
   phy::PhyParams params_;
   Channel channel_;

@@ -10,9 +10,12 @@ namespace rt::sim {
 void write_trace_csv(const std::string& path, const sig::IqWaveform& w) {
   std::ofstream out(path);
   RT_ENSURE(out.good(), "cannot open trace file for writing: " + path);
+  // max_digits10 = 17: a round-trip through decimal text reproduces every
+  // double bit-exactly, so a replayed capture decodes identically to the
+  // live stream (tests/test_streaming.cpp locks this down).
+  out.precision(17);
   out << "# sample_rate_hz=" << w.sample_rate_hz << "\n";
   out << "index,i,q\n";
-  out.precision(12);
   for (std::size_t i = 0; i < w.size(); ++i)
     out << i << ',' << w[i].real() << ',' << w[i].imag() << '\n';
   RT_ENSURE(out.good(), "error while writing trace file: " + path);

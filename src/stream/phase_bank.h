@@ -1,0 +1,65 @@
+// Bank of phase-hypothesis matched filters for the continuous preamble
+// scan (after FiendChain's DAB PreambleDetector: K rotors e^{j phi_k}
+// spread over the circle, statistic max_k Re(rotor_k * c)).
+//
+// The scan statistic must be rotation-invariant -- an uncorrected
+// polarization roll rotates the whole complex correlation -- but |c| per
+// alignment costs a sqrt. Projecting onto K phase hypotheses and taking
+// the max underestimates |c| by at most a factor cos(pi/K) (0.98 for
+// K = 8), which a fixed detection gate absorbs, and additionally reports
+// WHICH hypothesis won -- a coarse roll estimate for telemetry.
+#pragma once
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "common/error.h"
+#include "common/narrow.h"
+#include "signal/waveform.h"
+
+namespace rt::stream {
+
+class PhaseBank {
+ public:
+  explicit PhaseBank(int hypotheses) {
+    RT_ENSURE(hypotheses >= 1 && hypotheses <= 64, "phase hypothesis count out of range");
+    rotors_.reserve(static_cast<std::size_t>(hypotheses));
+    for (int k = 0; k < hypotheses; ++k) {
+      const double phi = 2.0 * std::numbers::pi * k / hypotheses;
+      rotors_.emplace_back(std::cos(phi), std::sin(phi));
+    }
+  }
+
+  [[nodiscard]] int size() const { return narrow_cast<int>(rotors_.size()); }
+
+  /// max_k Re(rotor_k * c): a cheap lower bound on |c| that stays within
+  /// cos(pi/K) of it for any phase of `c`.
+  [[nodiscard]] double score(sig::Complex c) const {
+    double best = rotors_[0].real() * c.real() - rotors_[0].imag() * c.imag();
+    for (std::size_t k = 1; k < rotors_.size(); ++k) {
+      const double s = rotors_[k].real() * c.real() - rotors_[k].imag() * c.imag();
+      if (s > best) best = s;
+    }
+    return best;
+  }
+
+  /// Index of the winning hypothesis (phi = 2 pi k / K).
+  [[nodiscard]] int best_hypothesis(sig::Complex c) const {
+    int best = 0;
+    double best_s = rotors_[0].real() * c.real() - rotors_[0].imag() * c.imag();
+    for (std::size_t k = 1; k < rotors_.size(); ++k) {
+      const double s = rotors_[k].real() * c.real() - rotors_[k].imag() * c.imag();
+      if (s > best_s) {
+        best_s = s;
+        best = narrow_cast<int>(k);
+      }
+    }
+    return best;
+  }
+
+ private:
+  std::vector<sig::Complex> rotors_;
+};
+
+}  // namespace rt::stream

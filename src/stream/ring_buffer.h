@@ -1,0 +1,92 @@
+// Fixed-capacity IQ sample ring addressed by absolute stream indices.
+//
+// The streaming receiver's only sample store: capacity is fixed at
+// construction, append() never reallocates, and every sample keeps its
+// absolute index within the unbounded input stream. Addressing the ring
+// by absolute index (not by buffer offset) is what makes the receiver's
+// state machine chunk-size invariant -- a decision taken "at sample t"
+// means the same thing no matter how the stream was sliced into pushes.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/error.h"
+#include "signal/waveform.h"
+
+namespace rt::stream {
+
+class SampleRing {
+ public:
+  explicit SampleRing(std::size_t capacity) : buf_(capacity) {
+    RT_ENSURE(capacity >= 1, "sample ring needs a non-zero capacity");
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return buf_.size(); }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t free_space() const { return buf_.size() - size_; }
+
+  /// Absolute index of the oldest retained sample.
+  [[nodiscard]] std::uint64_t abs_begin() const { return begin_abs_; }
+  /// One past the absolute index of the newest sample (= total pushed,
+  /// counting discarded history).
+  [[nodiscard]] std::uint64_t abs_end() const { return begin_abs_ + size_; }
+
+  /// Appends samples; the caller must have checked free_space().
+  void append(std::span<const sig::Complex> chunk) {
+    RT_ENSURE(chunk.size() <= free_space(), "sample ring overflow");
+    std::size_t w = offset_of(abs_end());
+    for (const auto& s : chunk) {
+      buf_[w] = s;
+      w = w + 1 == buf_.size() ? 0 : w + 1;
+    }
+    size_ += chunk.size();
+  }
+
+  /// Drops every sample with absolute index < `abs` (clamped to the
+  /// retained range; discarding ahead of abs_end() is a bug upstream).
+  void discard_to(std::uint64_t abs) {
+    if (abs <= begin_abs_) return;
+    RT_ENSURE(abs <= abs_end(), "cannot discard samples that were never pushed");
+    const auto n = static_cast<std::size_t>(abs - begin_abs_);
+    head_off_ = (head_off_ + n) % buf_.size();
+    begin_abs_ = abs;
+    size_ -= n;
+  }
+
+  [[nodiscard]] const sig::Complex& at(std::uint64_t abs) const {
+    RT_ASSERT(abs >= begin_abs_ && abs < abs_end());
+    return buf_[offset_of(abs)];
+  }
+
+  /// Copies `out.size()` retained samples starting at absolute index
+  /// `abs_first` into a contiguous caller buffer (handles wraparound).
+  void copy_out(std::uint64_t abs_first, std::span<sig::Complex> out) const {
+    RT_ENSURE(abs_first >= begin_abs_ && abs_first + out.size() <= abs_end(),
+              "sample ring copy_out range outside the retained window");
+    std::size_t r = offset_of(abs_first);
+    std::size_t copied = 0;
+    while (copied < out.size()) {
+      const std::size_t run = std::min(out.size() - copied, buf_.size() - r);
+      std::copy_n(buf_.begin() + static_cast<std::ptrdiff_t>(r), run,
+                  out.begin() + static_cast<std::ptrdiff_t>(copied));
+      copied += run;
+      r = 0;
+    }
+  }
+
+ private:
+  [[nodiscard]] std::size_t offset_of(std::uint64_t abs) const {
+    return static_cast<std::size_t>((head_off_ + (abs - begin_abs_)) % buf_.size());
+  }
+
+  std::vector<sig::Complex> buf_;
+  std::uint64_t begin_abs_ = 0;  ///< absolute index of buf_[head_off_]
+  std::size_t size_ = 0;
+  std::size_t head_off_ = 0;     ///< physical offset of the oldest sample
+};
+
+}  // namespace rt::stream

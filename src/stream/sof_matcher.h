@@ -1,0 +1,106 @@
+// Bit-error-tolerant soft start-of-frame check (after openstint's
+// preamble_pos scan: per-slot decisions packed into words, XOR against
+// the expected pattern, accept while popcount stays under a mismatch
+// budget).
+//
+// The matched-filter gate alone can fire on structured garbage whose
+// correlation accidentally crosses the threshold. Before committing a
+// full decode window, the streaming receiver re-reads the candidate
+// preamble as per-slot binary decisions and demands that they agree with
+// the offline reference up to `max_bit_errors` slots -- tolerant of noise
+// flipping individual slots, but a hard wall against windows with the
+// wrong structure.
+//
+// The decision statistic is the slot's mean absolute deviation from the
+// window mean: invariant to DC offset (relaxed-pixel baseline), rotation
+// (uncorrected roll) and -- through the self-calibrating threshold --
+// overall scale. The expected pattern is computed from the REFERENCE
+// waveform with the same statistic, not from the raw firing bits: the LC
+// charge/discharge dynamics decouple per-slot amplitude from the firing
+// pattern, but a true window is a scaled/rotated/shifted copy of the
+// reference (plus noise), so it reproduces the reference's own decisions.
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/error.h"
+#include "phy/params.h"
+#include "signal/waveform.h"
+
+namespace rt::stream {
+
+class SofMatcher {
+ public:
+  /// `reference` is the offline preamble reference (at least the
+  /// preamble body, preamble_slots * samples_per_slot samples).
+  SofMatcher(const phy::PhyParams& params, std::span<const sig::Complex> reference)
+      : spslot_(params.samples_per_slot()),
+        slots_(static_cast<std::size_t>(params.preamble_slots)),
+        slot_stat_(slots_, 0.0),
+        observed_((slots_ + 63) / 64, 0) {
+    RT_ENSURE(reference.size() >= window_samples(),
+              "SOF matcher needs the full preamble body of the reference");
+    expected_.assign(observed_.size(), 0);
+    decide(reference, expected_);
+  }
+
+  /// Samples covered by the decision window (the preamble body; the
+  /// reference's DSM discharge tail is not part of the decision).
+  [[nodiscard]] std::size_t window_samples() const { return slots_ * spslot_; }
+
+  /// Number of slot decisions disagreeing with the reference's for a
+  /// candidate window starting at preamble slot 0. `window` must cover
+  /// window_samples(). Zero-allocation: scratch is owned by the matcher.
+  [[nodiscard]] int mismatches(std::span<const sig::Complex> window) {
+    decide(window, observed_);
+    int bad = 0;
+    for (std::size_t w = 0; w < expected_.size(); ++w)
+      bad += std::popcount(observed_[w] ^ expected_[w]);
+    return bad;
+  }
+
+ private:
+  /// Computes the per-slot statistic over `window` into slot_stat_ and
+  /// packs the above-threshold decisions into `out` (one bit per slot).
+  void decide(std::span<const sig::Complex> window, std::vector<std::uint64_t>& out) {
+    RT_ENSURE(window.size() >= window_samples(), "SOF window shorter than the preamble");
+    sig::Complex mean{};
+    const std::size_t n = window_samples();
+    for (std::size_t i = 0; i < n; ++i) mean += window[i];
+    mean /= static_cast<double>(n);
+    for (std::size_t s = 0; s < slots_; ++s) {
+      double acc = 0.0;
+      for (std::size_t i = 0; i < spslot_; ++i) acc += std::abs(window[s * spslot_ + i] - mean);
+      slot_stat_[s] = acc / static_cast<double>(spslot_);
+    }
+    const double thr = threshold();
+    for (auto& w : out) w = 0;
+    for (std::size_t s = 0; s < slots_; ++s)
+      if (slot_stat_[s] > thr) out[s / 64] |= std::uint64_t{1} << (s % 64);
+  }
+
+  /// Self-calibrating decision threshold: halfway between the quietest
+  /// and loudest slot of the current slot_stat_, so absolute signal
+  /// scale never matters.
+  [[nodiscard]] double threshold() const {
+    double lo = slot_stat_[0];
+    double hi = slot_stat_[0];
+    for (const double v : slot_stat_) {
+      if (v < lo) lo = v;
+      if (v > hi) hi = v;
+    }
+    return 0.5 * (lo + hi);
+  }
+
+  std::size_t spslot_;
+  std::size_t slots_;
+  std::vector<std::uint64_t> expected_;  ///< packed reference slot decisions
+  std::vector<double> slot_stat_;        ///< per-slot scratch, sized at construction
+  std::vector<std::uint64_t> observed_;  ///< packed decision scratch
+};
+
+}  // namespace rt::stream

@@ -1,0 +1,58 @@
+// Pull-style sample sources feeding the streaming receiver.
+//
+// One interface covers every input the reader daemon consumes: in-memory
+// waveforms (concatenated simulator output, sim_source.h), CSV capture
+// replays (sim::trace via BufferSource), and -- eventually -- live
+// hardware front-ends. A source hands out samples in caller-sized chunks
+// so the driver loop, not the source, decides the streaming granularity;
+// the receiver's results are invariant to that choice by contract.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <utility>
+
+#include "common/error.h"
+#include "signal/waveform.h"
+
+namespace rt::stream {
+
+class SampleSource {
+ public:
+  virtual ~SampleSource() = default;
+
+  [[nodiscard]] virtual double sample_rate_hz() const = 0;
+
+  /// Fills up to `out.size()` samples; returns the count written. A
+  /// return of 0 signals end of stream (sources never block here).
+  [[nodiscard]] virtual std::size_t read(std::span<sig::Complex> out) = 0;
+};
+
+/// Replays an in-memory waveform -- the adapter that turns a sim::trace
+/// CSV capture (read_trace_csv) or a concatenated simulator stream into a
+/// SampleSource.
+class BufferSource final : public SampleSource {
+ public:
+  explicit BufferSource(sig::IqWaveform wave) : wave_(std::move(wave)) {
+    RT_ENSURE(wave_.sample_rate_hz > 0.0, "buffer source needs a tagged sample rate");
+  }
+
+  [[nodiscard]] double sample_rate_hz() const override { return wave_.sample_rate_hz; }
+
+  [[nodiscard]] std::size_t read(std::span<sig::Complex> out) override {
+    const std::size_t n = std::min(out.size(), wave_.size() - pos_);
+    std::copy_n(wave_.samples.begin() + static_cast<std::ptrdiff_t>(pos_), n, out.begin());
+    pos_ += n;
+    return n;
+  }
+
+  /// Rewinds to the start of the waveform (replay the same capture).
+  void rewind() { pos_ = 0; }
+
+ private:
+  sig::IqWaveform wave_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace rt::stream

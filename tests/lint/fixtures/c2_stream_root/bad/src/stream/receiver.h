@@ -1,0 +1,25 @@
+// BAD exemplar for rt_check C2 (hot-path allocation) with the streaming
+// root: `StreamingReceiver::push_samples` is a call-graph root just like
+// run_packet / *_into, so a fresh owning container per push and an
+// unreserved push_back inside it (or anything it reaches) must be flagged.
+#pragma once
+
+#include <vector>
+
+namespace rt::stream {
+
+class StreamingReceiver {
+ public:
+  void push_samples(const std::vector<float>& chunk);
+
+ private:
+  std::vector<float> window_;
+};
+
+inline void StreamingReceiver::push_samples(const std::vector<float>& chunk) {
+  std::vector<float> scratch;
+  for (float v : chunk) scratch.push_back(v);
+  for (float v : scratch) window_.push_back(v);
+}
+
+}  // namespace rt::stream

@@ -1,0 +1,28 @@
+// CLEAN exemplar for rt_check C2 (hot-path allocation) with the
+// streaming root: `StreamingReceiver::push_samples` reuses member
+// scratch whose capacity is reserved in the same body before growth, so
+// the steady state performs no heap allocations.
+#pragma once
+
+#include <vector>
+
+namespace rt::stream {
+
+class StreamingReceiver {
+ public:
+  void push_samples(const std::vector<float>& chunk);
+
+ private:
+  std::vector<float> scratch_;
+  std::vector<float> window_;
+};
+
+inline void StreamingReceiver::push_samples(const std::vector<float>& chunk) {
+  scratch_.clear();
+  scratch_.reserve(chunk.size());
+  for (float v : chunk) scratch_.push_back(v);
+  window_.reserve(window_.size() + scratch_.size());
+  for (float v : scratch_) window_.push_back(v);
+}
+
+}  // namespace rt::stream

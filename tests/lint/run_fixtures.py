@@ -67,6 +67,7 @@ CASES: dict[str, tuple] = {
     "r5_span_docs": (rt_lint_cmd, "span-docs"),
     "c1_determinism": (lambda root: rt_check_cmd(root, "C1"), "determinism"),
     "c2_hotpath_alloc": (lambda root: rt_check_cmd(root, "C2"), "hotpath-alloc"),
+    "c2_stream_root": (lambda root: rt_check_cmd(root, "C2"), "hotpath-alloc"),
     "c3_layering": (lambda root: rt_check_cmd(root, "C3", C3_SPEC), "layering"),
 }
 

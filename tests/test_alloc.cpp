@@ -18,6 +18,8 @@
 #include "common/units.h"
 #include "sim/link_sim.h"
 #include "sim/packet_workspace.h"
+#include "stream/sim_source.h"
+#include "stream/streaming_receiver.h"
 
 namespace {
 
@@ -125,6 +127,52 @@ TEST(AllocationRegression, SteadyStatePacketPipelineIsAllocationFree) {
   EXPECT_EQ(g_allocs.load(), 0u)
       << "the steady-state packet pipeline allocated on the heap (" << g_allocs.load()
       << " allocations across 3 packets; total bit errors " << errors << ")";
+}
+
+TEST(AllocationRegression, SteadyStateStreamingReceiverIsAllocationFree) {
+  const auto p = fast_params();
+  ChannelConfig ch;
+  ch.snr_override_db = 20.0;
+  ch.noise_seed = 7;
+  SimOptions so;
+  so.seed = 42;
+  so.offline_yaws_deg = {0.0};
+  const LinkSimulator sim(p, p.tag_config(), ch, so);
+
+  stream::StreamScenario sc;
+  sc.packets = 3;
+  sc.payload_bytes = 8;
+  sc.gap = stream::StreamScenario::Gap::kNoise;
+  const auto truth = stream::build_stream(sim, sc);
+
+  stream::StreamOptions opts;
+  opts.payload_slots = truth.payload_slots;
+  stream::StreamingReceiver rx(sim.demodulator(), opts);
+  struct CountSink final : stream::FrameSink {
+    std::uint64_t frames = 0;
+    void on_frame(const stream::StreamFrame&) override { ++frames; }
+  } sink;
+  const auto run_once = [&] {
+    const std::span<const sig::Complex> all(truth.waveform.samples);
+    for (std::size_t off = 0; off < all.size(); off += 777)
+      rx.push_samples(all.subspan(off, std::min<std::size_t>(777, all.size() - off)), sink);
+    rx.flush(sink);
+  };
+
+  // Warm-up stream: every scratch buffer (scan spans, decode window, the
+  // inner packet-pipeline workspace) reaches steady-state capacity.
+  run_once();
+  ASSERT_EQ(sink.frames, 3u) << "warm-up stream must decode for full-path coverage";
+
+  g_allocs.store(0);
+  g_counting.store(true);
+  run_once();
+  g_counting.store(false);
+
+  EXPECT_EQ(sink.frames, 6u);
+  EXPECT_EQ(g_allocs.load(), 0u)
+      << "the steady-state streaming receiver allocated on the heap (" << g_allocs.load()
+      << " allocations across one stream of 3 frames)";
 }
 
 }  // namespace
