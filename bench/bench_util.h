@@ -234,18 +234,21 @@ class BenchReport {
 
  private:
   /// RT_OBS builds: print the per-stage summary and write the
-  /// BENCH_<name>.trace.json / BENCH_<name>.metrics.json artifacts
-  /// (schemas in docs/TELEMETRY.md). No-op otherwise.
+  /// BENCH_<name>.trace.json / BENCH_<name>.metrics.json /
+  /// BENCH_<name>.folded.txt artifacts (schemas in docs/TELEMETRY.md).
+  /// No-op otherwise.
   void write_obs_artifacts() const {
     if constexpr (obs::kEnabled) {
       if (obs_metrics_.empty() && obs_trace_.empty()) return;
       obs::print_stage_summary(stdout, obs_metrics_, obs_trace_);
       const std::string trace_path = "BENCH_" + name_ + ".trace.json";
       const std::string metrics_path = "BENCH_" + name_ + ".metrics.json";
+      const std::string folded_path = "BENCH_" + name_ + ".folded.txt";
       obs::write_chrome_trace(trace_path, obs_trace_);
       obs::write_metrics_json(metrics_path, obs_metrics_, obs_trace_);
-      std::printf("wrote %s + %s (open the trace at chrome://tracing)\n", trace_path.c_str(),
-                  metrics_path.c_str());
+      obs::write_folded_stacks(folded_path, obs_trace_);
+      std::printf("wrote %s + %s + %s (open the trace at chrome://tracing)\n", trace_path.c_str(),
+                  metrics_path.c_str(), folded_path.c_str());
     }
   }
 

@@ -1,0 +1,40 @@
+// Portable batch abstraction for the kernel layer (ROADMAP "SIMD/batch"
+// item). `batch<T, W>` is a fixed-width value pack with elementwise
+// arithmetic; the scalar specialization (W = 1) is the reference backend
+// and contains no intrinsics. The AVX2 specialization lives in
+// dispatch.h -- the single translation-unit-visible place intrinsics may
+// appear (enforced by rt_check rule C5).
+//
+// Backend contract (see DESIGN.md "Kernel layer & SoA layout"):
+//  - elementwise kernels (no cross-lane reduction) are bit-identical
+//    between backends: each output element sees the exact same chain of
+//    IEEE operations in the same order;
+//  - reduction kernels may reassociate across lanes under AVX2 and carry
+//    a documented, test-enforced tolerance (tests/test_kernels.cpp);
+//  - the scalar backend always reproduces today's sequential loops
+//    bit-for-bit, so golden BER fixtures pin the pipeline down.
+#pragma once
+
+#include <cstddef>
+
+namespace rt::kernels {
+
+/// Scalar reference pack: one lane, plain IEEE double arithmetic. The
+/// generic kernels in kernels_scalar.cpp are written against this shape
+/// so the scalar and SIMD bodies share structure reviewably.
+template <typename T>
+struct batch {
+  static constexpr std::size_t width = 1;
+  T v;
+
+  static batch load(const T* p) { return {p[0]}; }
+  static batch broadcast(T x) { return {x}; }
+  void store(T* p) const { p[0] = v; }
+
+  friend batch operator+(batch a, batch b) { return {a.v + b.v}; }
+  friend batch operator-(batch a, batch b) { return {a.v - b.v}; }
+  friend batch operator*(batch a, batch b) { return {a.v * b.v}; }
+  friend batch operator/(batch a, batch b) { return {a.v / b.v}; }
+};
+
+}  // namespace rt::kernels

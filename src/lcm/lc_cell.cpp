@@ -1,48 +1,21 @@
 #include "lcm/lc_cell.h"
 
-#include <algorithm>
-#include <cmath>
+#include "kernels/kernels.h"
 
 namespace rt::lcm {
-
-namespace {
-
-constexpr double kMaxSubstep = 10e-6;  // 10 us keeps RK4 error negligible vs tau >= 0.1 ms
-
-}  // namespace
 
 double LcCell::step(bool driven, double dt) {
   RT_ENSURE(dt >= 0.0, "dt must be non-negative");
   if (dt == 0.0) return c_;
 
-  // Coupled ODEs in (c, s); RK4 with substeps so accuracy does not depend
-  // on the caller's sample rate.
-  const auto fc = [&](double c, double s) {
-    if (driven) {
-      const double tau = t_.tau_charge_s * (1.0 + t_.memory_coupling * (1.0 - s));
-      return (1.0 - c) / tau;
-    }
-    return -c * (1.0 - c) / t_.tau_relax_s - c / t_.tau_slow_s;
-  };
-  const auto fs = [&](double c, double s) { return (c - s) / t_.tau_memory_s; };
-
-  double remaining = dt;
-  while (remaining > 0.0) {
-    const double h = std::min(remaining, kMaxSubstep);
-    const double k1c = fc(c_, s_);
-    const double k1s = fs(c_, s_);
-    const double k2c = fc(c_ + 0.5 * h * k1c, s_ + 0.5 * h * k1s);
-    const double k2s = fs(c_ + 0.5 * h * k1c, s_ + 0.5 * h * k1s);
-    const double k3c = fc(c_ + 0.5 * h * k2c, s_ + 0.5 * h * k2s);
-    const double k3s = fs(c_ + 0.5 * h * k2c, s_ + 0.5 * h * k2s);
-    const double k4c = fc(c_ + h * k3c, s_ + h * k3s);
-    const double k4s = fs(c_ + h * k3c, s_ + h * k3s);
-    c_ += h / 6.0 * (k1c + 2.0 * k2c + 2.0 * k3c + k4c);
-    s_ += h / 6.0 * (k1s + 2.0 * k2s + 2.0 * k3s + k4s);
-    c_ = std::clamp(c_, 0.0, 1.0);
-    s_ = std::clamp(s_, 0.0, 1.0);
-    remaining -= h;
-  }
+  // Single-cell slice of the batched director ODE kernel (coupled (c, s)
+  // RK4 with 10 us substeps). The kernel is elementwise, so this is
+  // bit-identical under both backends to the original in-class loop --
+  // kernels_scalar.cpp::lc_step is that loop, verbatim.
+  const double drive = driven ? 1.0 : 0.0;
+  const kernels::LcBankParams p{&t_.tau_charge_s, &t_.tau_relax_s, t_.tau_slow_s,
+                                t_.tau_memory_s, t_.memory_coupling};
+  kernels::lc_step(1, dt, &drive, &c_, &s_, p);
   return c_;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "kernels/kernels.h"
 #include "obs/trace.h"
 
 namespace rt::lcm {
@@ -46,11 +47,54 @@ TagArray::TagArray(const TagConfig& config) : cfg_(config) {
     module_gain_i_[m] = 1.0 + grad * pos;
     module_gain_q_[m] = 1.0 + grad * pos;
   }
+
+  // Flatten the pixel graph into the SoA bank (I group then Q group,
+  // module-major). Static parameters are read back from the constructed
+  // pixels so the bank sees exactly the RNG-perturbed values.
+  const auto n_px = static_cast<std::size_t>(2 * l * cfg_.bits_per_axis);
+  bank_.drive.assign(n_px, 0.0);
+  bank_.c.assign(n_px, 0.0);
+  bank_.s.assign(n_px, 0.0);
+  bank_.tau_charge.resize(n_px);
+  bank_.tau_relax.resize(n_px);
+  bank_.w.resize(n_px);
+  bank_.axis.resize(n_px);
+  bank_.tau_slow = timings.tau_slow_s;
+  bank_.tau_memory = timings.tau_memory_s;
+  bank_.k_mem = timings.memory_coupling;
+  std::size_t p = 0;
+  for (const auto* group : {&i_modules_, &q_modules_}) {
+    for (const auto& mod : *group) {
+      for (const auto& px : mod.pixels()) {
+        const auto& pp = px.params();
+        bank_.tau_charge[p] = pp.timings.tau_charge_s;
+        bank_.tau_relax[p] = pp.timings.tau_relax_s;
+        // Matches Pixel::step: gain * area rounds once up front; the
+        // polarization axis is e^{j 2 (theta_b + eps)}.
+        bank_.w[p] = pp.gain * pp.area;
+        bank_.axis[p] = std::polar(1.0, 2.0 * (pp.polarizer_angle_rad + pp.angle_error_rad));
+        ++p;
+      }
+    }
+  }
 }
 
 void TagArray::reset() {
   for (auto& m : i_modules_) m.reset();
   for (auto& m : q_modules_) m.reset();
+  std::fill(bank_.drive.begin(), bank_.drive.end(), 0.0);
+  std::fill(bank_.c.begin(), bank_.c.end(), 0.0);
+  std::fill(bank_.s.begin(), bank_.s.end(), 0.0);
+}
+
+void TagArray::apply_level(bool is_i, int module, int level) {
+  const int bits = cfg_.bits_per_axis;
+  RT_ENSURE(level >= 0 && level < (1 << bits), "drive level out of range");
+  const std::size_t base = bank_base(is_i, module);
+  for (int i = 0; i < bits; ++i) {
+    const int bit = bits - 1 - i;
+    bank_.drive[base + static_cast<std::size_t>(i)] = ((level >> bit) & 1) != 0 ? 1.0 : 0.0;
+  }
 }
 
 sig::IqWaveform TagArray::synthesize(std::span<const Firing> schedule, double fs,
@@ -106,19 +150,54 @@ void TagArray::synthesize_into(std::span<const Firing> schedule, double fs, doub
   for (std::size_t e = 0; e < events.size(); ++e)
     event_sample[e] = static_cast<std::size_t>(std::llround(events[e].t * fs));
   std::size_t next_event = 0;
-  for (std::size_t i = 0; i < n; ++i) {
+  const std::size_t n_px = bank_.c.size();
+  const kernels::LcBankParams bp{bank_.tau_charge.data(), bank_.tau_relax.data(),
+                                 bank_.tau_slow, bank_.tau_memory, bank_.k_mem};
+  const int bits = cfg_.bits_per_axis;
+  // Cap constant-drive segments so the per-sample alignment rows stay
+  // cache-resident (kMaxRun * n_px doubles). Splitting a segment is free:
+  // lc_step_run over k then j samples is the same op sequence as k + j.
+  constexpr std::size_t kMaxRun = 128;
+  std::size_t i = 0;
+  while (i < n) {
     while (next_event < events.size() && event_sample[next_event] <= i) {
       const auto& e = events[next_event];
-      auto& mod = e.is_i ? i_modules_[e.module] : q_modules_[e.module];
-      mod.set_level(e.level);
+      apply_level(e.is_i, e.module, e.level);
       ++next_event;
     }
-    sig::Complex acc{};
-    for (std::size_t m = 0; m < i_modules_.size(); ++m)
-      acc += module_gain_i_[m] * i_modules_[m].step(dt);
-    for (std::size_t m = 0; m < q_modules_.size(); ++m)
-      acc += module_gain_q_[m] * q_modules_[m].step(dt);
-    out[i] = acc;
+    // Drive is now constant until the next event (or the end), so the
+    // whole run advances through one segment kernel call that hands back
+    // the per-sample alignment rows.
+    std::size_t seg_end = n;
+    if (next_event < events.size()) seg_end = std::min(seg_end, event_sample[next_event]);
+    const std::size_t run = std::min(seg_end - i, kMaxRun);
+    scratch.c_run.resize(run * n_px);
+    // All 2*L*bits director ODEs advance in one batched kernel call; the
+    // polarization sum below then replays the old object walk's exact
+    // accumulation order (pixels into a module sum, module gain, then the
+    // I group followed by the Q group), so a scalar-backend build stays
+    // bit-identical to the pre-SoA pipeline.
+    kernels::lc_step_run(n_px, run, dt, bank_.drive.data(), bank_.c.data(), bank_.s.data(),
+                         scratch.c_run.data(), bp);
+    for (std::size_t t = 0; t < run; ++t) {
+      const double* crow = scratch.c_run.data() + t * n_px;
+      sig::Complex acc{};
+      std::size_t p = 0;
+      for (std::size_t m = 0; m < i_modules_.size(); ++m) {
+        sig::Complex macc{};
+        for (int b = 0; b < bits; ++b, ++p)
+          macc += bank_.w[p] * (2.0 * crow[p] - 1.0) * bank_.axis[p];
+        acc += module_gain_i_[m] * macc;
+      }
+      for (std::size_t m = 0; m < q_modules_.size(); ++m) {
+        sig::Complex macc{};
+        for (int b = 0; b < bits; ++b, ++p)
+          macc += bank_.w[p] * (2.0 * crow[p] - 1.0) * bank_.axis[p];
+        acc += module_gain_q_[m] * macc;
+      }
+      out[i + t] = acc;
+    }
+    i += run;
   }
 }
 

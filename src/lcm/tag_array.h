@@ -71,6 +71,7 @@ struct SynthScratch {
   };
   std::vector<Event> events;
   std::vector<std::size_t> event_sample;
+  std::vector<double> c_run;  ///< per-sample LC alignment rows for one segment
 };
 
 class TagArray {
@@ -107,11 +108,43 @@ class TagArray {
   [[nodiscard]] const std::vector<Module>& q_modules() const { return q_modules_; }
 
  private:
+  /// Struct-of-arrays mirror of every pixel's LC state and static
+  /// parameters, in bank order [I modules x pixels, then Q modules x
+  /// pixels]. synthesize_into() advances ALL cells per sample through one
+  /// batched kernels::lc_step call instead of walking the Module/Pixel
+  /// object graph; the objects stay authoritative for construction (RNG
+  /// draw order, per-pixel params exposed to tests) and for the emulator
+  /// paths that still step modules directly.
+  struct PixelBank {
+    std::vector<double> drive;       ///< 1.0 driven / 0.0 released, per pixel
+    std::vector<double> c;           ///< LC alignment state
+    std::vector<double> s;           ///< LC surface-memory state
+    std::vector<double> tau_charge;  ///< per-pixel (module-granular) time constants
+    std::vector<double> tau_relax;
+    std::vector<double> w;           ///< gain * area amplitude weight
+    std::vector<sig::Complex> axis;  ///< e^{j 2 theta} polarization axis
+    double tau_slow = 0.0;           ///< uniform across the tag
+    double tau_memory = 0.0;
+    double k_mem = 0.0;
+  };
+
+  /// First bank index of a module's pixel run.
+  [[nodiscard]] std::size_t bank_base(bool is_i, int module) const {
+    const auto l = static_cast<std::size_t>(cfg_.dsm_order);
+    const auto bits = static_cast<std::size_t>(cfg_.bits_per_axis);
+    return ((is_i ? 0 : l) + static_cast<std::size_t>(module)) * bits;
+  }
+
+  /// Writes the binary decomposition of `level` into the drive lanes of
+  /// one module (pixel 0 carries the top bit, mirroring Module::step).
+  void apply_level(bool is_i, int module, int level);
+
   TagConfig cfg_;
   std::vector<Module> i_modules_;
   std::vector<Module> q_modules_;
   std::vector<double> module_gain_i_;  ///< yaw illumination gradient per module
   std::vector<double> module_gain_q_;
+  PixelBank bank_;
 };
 
 }  // namespace rt::lcm

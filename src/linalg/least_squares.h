@@ -15,6 +15,19 @@
 
 namespace rt::linalg {
 
+namespace detail {
+
+// Kernel-dispatched y[k] -= a * x[k] (the MGS projection update).
+inline void axpy_sub(std::size_t n, double a, const double* x, double* y) {
+  kernels::axpy_sub_real(n, a, x, y);
+}
+inline void axpy_sub(std::size_t n, std::complex<double> a, const std::complex<double>* x,
+                     std::complex<double>* y) {
+  kernels::axpy_sub_cplx(n, a, x, y);
+}
+
+}  // namespace detail
+
 template <typename T>
 struct QrResult {
   Matrix<T> q;  ///< m x n with orthonormal columns (thin QR)
@@ -41,6 +54,35 @@ struct LsWorkspace {
   std::size_t n = 0;    ///< cols of the last decomposed A
 };
 
+namespace detail {
+
+/// MGS with reorthogonalization over the column-major ws.work copy of A
+/// (dimensions already in ws.m/ws.n, ws.q/ws.r already sized). Shared by
+/// the row-major and column-major qr_decompose entry points.
+template <typename T>
+void mgs_on_workspace(LsWorkspace<T>& ws) {
+  const std::size_t m = ws.m;
+  const std::size_t n = ws.n;
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::span<T> v(ws.work.data() + j * m, m);
+    const double original_norm = norm<T>(v);
+    for (int pass = 0; pass < 2; ++pass) {
+      for (std::size_t i = 0; i < j; ++i) {
+        const std::span<const T> qi(ws.q.data() + i * m, m);
+        const T proj = dot<T>(qi, v);
+        ws.r(i, j) += proj;
+        detail::axpy_sub(m, proj, qi.data(), v.data());
+      }
+    }
+    const double nv = norm<T>(std::span<const T>(v));
+    RT_ENSURE(nv > 1e-300 && nv > 1e-10 * original_norm, "qr_decompose: rank-deficient matrix");
+    ws.r(j, j) = T{nv};
+    for (std::size_t k = 0; k < m; ++k) ws.q[j * m + k] = v[k] / T{nv};
+  }
+}
+
+}  // namespace detail
+
 /// Thin QR via modified Gram-Schmidt with reorthogonalization.
 /// Requires rows >= cols and full column rank.
 template <typename T>
@@ -62,7 +104,7 @@ template <typename T>
         const T proj = dot<T>(q.col(i), v);
         r(i, j) += proj;
         const auto qi = q.col(i);
-        for (std::size_t k = 0; k < m; ++k) v[k] -= proj * qi[k];
+        detail::axpy_sub(m, proj, qi.data(), v.data());
       }
     }
     const double nv = norm<T>(v);
@@ -90,22 +132,24 @@ void qr_decompose_into(const Matrix<T>& a, LsWorkspace<T>& ws) {
   ws.work.resize(m * n);
   for (std::size_t j = 0; j < n; ++j)
     for (std::size_t k = 0; k < m; ++k) ws.work[j * m + k] = a(k, j);
-  for (std::size_t j = 0; j < n; ++j) {
-    const std::span<T> v(ws.work.data() + j * m, m);
-    const double original_norm = norm<T>(v);
-    for (int pass = 0; pass < 2; ++pass) {
-      for (std::size_t i = 0; i < j; ++i) {
-        const std::span<const T> qi(ws.q.data() + i * m, m);
-        const T proj = dot<T>(qi, v);
-        ws.r(i, j) += proj;
-        for (std::size_t k = 0; k < m; ++k) v[k] -= proj * qi[k];
-      }
-    }
-    const double nv = norm<T>(std::span<const T>(v));
-    RT_ENSURE(nv > 1e-300 && nv > 1e-10 * original_norm, "qr_decompose: rank-deficient matrix");
-    ws.r(j, j) = T{nv};
-    for (std::size_t k = 0; k < m; ++k) ws.q[j * m + k] = v[k] / T{nv};
-  }
+  detail::mgs_on_workspace(ws);
+}
+
+/// qr_decompose_into() for a design matrix that is ALREADY column-major
+/// (column j occupies a_cm[j*m .. j*m+m)). Skips the row-major transpose
+/// copy; the MGS arithmetic -- and therefore the result -- is bit-identical
+/// to the row-major entry point on the same matrix.
+template <typename T>
+void qr_decompose_cm_into(std::span<const T> a_cm, std::size_t m, std::size_t n,
+                          LsWorkspace<T>& ws) {
+  RT_ENSURE(m >= n, "qr_decompose requires rows >= cols");
+  RT_ENSURE(a_cm.size() == m * n, "qr_decompose_cm_into size mismatch");
+  ws.m = m;
+  ws.n = n;
+  ws.q.resize(m * n);
+  ws.r.resize(n, n);
+  ws.work.assign(a_cm.begin(), a_cm.end());
+  detail::mgs_on_workspace(ws);
 }
 
 /// Solves min ||A x - b|| for the A last passed to qr_decompose_into.
@@ -177,8 +221,13 @@ template <typename T>
   RT_ENSURE(a.rows() == b.size(), "residual_norm dimension mismatch");
   double s = 0.0;
   for (std::size_t i = 0; i < a.rows(); ++i) {
-    T ax{};
-    for (std::size_t c = 0; c < a.cols(); ++c) ax += a(i, c) * x[c];
+    const auto row = a.row(i);
+    T ax;
+    if constexpr (detail::is_complex<T>::value) {
+      ax = kernels::cdotu(row.size(), row.data(), x.data());
+    } else {
+      ax = kernels::dot_real(row.size(), row.data(), x.data());
+    }
     s += abs_sq(ax - b[i]);
   }
   return std::sqrt(s);

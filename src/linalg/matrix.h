@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/error.h"
+#include "kernels/kernels.h"
 
 namespace rt::linalg {
 
@@ -185,21 +186,27 @@ class Matrix {
 using RealMatrix = Matrix<double>;
 using ComplexMatrix = Matrix<std::complex<double>>;
 
-/// Inner product <a, b> = sum conj(a_i) * b_i.
+/// Inner product <a, b> = sum conj(a_i) * b_i. Dispatches to the kernel
+/// layer (src/kernels): the scalar backend is the original sequential
+/// loop; the AVX2 backend reassociates within the documented tolerance.
 template <typename T>
 [[nodiscard]] T dot(std::span<const T> a, std::span<const T> b) {
   RT_ENSURE(a.size() == b.size(), "dot dimension mismatch");
-  T s{};
-  for (std::size_t i = 0; i < a.size(); ++i) s += conj_if_complex(a[i]) * b[i];
-  return s;
+  if constexpr (detail::is_complex<T>::value) {
+    return kernels::cdotc(a.size(), a.data(), b.data());
+  } else {
+    return kernels::dot_real(a.size(), a.data(), b.data());
+  }
 }
 
-/// Euclidean norm of a vector.
+/// Euclidean norm of a vector (kernel-dispatched, see dot()).
 template <typename T>
 [[nodiscard]] double norm(std::span<const T> v) {
-  double s = 0.0;
-  for (const auto& x : v) s += abs_sq(x);
-  return std::sqrt(s);
+  if constexpr (detail::is_complex<T>::value) {
+    return std::sqrt(kernels::sum_norm_cplx(v.size(), v.data()));
+  } else {
+    return std::sqrt(kernels::sum_sq_real(v.size(), v.data()));
+  }
 }
 
 }  // namespace rt::linalg

@@ -99,6 +99,45 @@ void write_metrics_json(const std::string& path, const MetricsRegistry& m,
   RT_ENSURE(out.good(), "failed while writing metrics output file");
 }
 
+void write_folded_stacks(const std::string& path, std::span<const SpanRecord> spans) {
+  RT_ENSURE(!path.empty(), "folded-stack output path must not be empty");
+  // Records are emitted at scope exit (children before parents), so the
+  // enclosing chain has to be rebuilt. Sorting by (tid, start, depth)
+  // puts every parent immediately before its children; the recorded
+  // nesting depth then says exactly how much of the running stack is
+  // still open when a span starts.
+  std::vector<SpanRecord> sorted(spans.begin(), spans.end());
+  std::erase_if(sorted, [](const SpanRecord& s) { return s.name == nullptr; });
+  std::sort(sorted.begin(), sorted.end(), [](const SpanRecord& a, const SpanRecord& b) {
+    if (a.tid != b.tid) return a.tid < b.tid;
+    if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+    return a.depth < b.depth;
+  });
+  std::map<std::string, std::int64_t> agg;  // chain -> inclusive ns
+  std::vector<std::string_view> stack;
+  std::string chain;
+  std::uint32_t cur_tid = 0;
+  for (const auto& s : sorted) {
+    if (stack.empty() || s.tid != cur_tid) {
+      stack.clear();
+      cur_tid = s.tid;
+    }
+    if (stack.size() > s.depth) stack.resize(s.depth);
+    stack.push_back(s.name);
+    chain.clear();
+    for (const auto& frame : stack) {
+      if (!chain.empty()) chain.push_back(';');
+      chain.append(frame);
+    }
+    agg[chain] += s.dur_ns;
+  }
+  std::ofstream out(path, std::ios::trunc);
+  RT_ENSURE(out.good(), "failed to open folded-stack output file");
+  for (const auto& [key, total_ns] : agg)
+    out << key << " " << (total_ns + 500) / 1000 << "\n";
+  RT_ENSURE(out.good(), "failed while writing folded-stack output file");
+}
+
 void print_stage_summary(std::FILE* out, const MetricsRegistry& m,
                          std::span<const SpanRecord> spans) {
   RT_ENSURE(out != nullptr, "summary output stream must not be null");

@@ -29,6 +29,13 @@ void write_metrics_json(const std::string& path, const MetricsRegistry& m,
 /// Overload without span data: the "stages" object is empty.
 void write_metrics_json(const std::string& path, const MetricsRegistry& m);
 
+/// Writes `spans` in Brendan Gregg's folded-stack format, one line per
+/// distinct span chain: `root;child;leaf <inclusive_us>`, aggregated
+/// over every occurrence of that chain (all threads merged) and sorted
+/// lexicographically. Feed the file to flamegraph.pl / speedscope, or
+/// grep a stage name to read its inclusive share directly.
+void write_folded_stacks(const std::string& path, std::span<const SpanRecord> spans);
+
 /// Prints the per-stage wall-time table (aggregated over span names),
 /// non-zero counters, and histogram summaries. `out` is typically stdout.
 void print_stage_summary(std::FILE* out, const MetricsRegistry& m,

@@ -24,7 +24,6 @@ namespace {
 
 using Branch = EqualizerWorkspace::Branch;
 using Candidate = EqualizerWorkspace::Candidate;
-using PixelTerm = EqualizerWorkspace::PixelTerm;
 
 /// Writes the merge key of `b` -- the last (L - 1) decisions (whose pulses
 /// still overlap future slots) plus every pixel history -- into `dst`
@@ -92,7 +91,7 @@ void DfeEqualizer::equalize_into(const sig::IqWaveform& rx, std::size_t payload_
   // non-zero -- including the tail terms of unfired pixels.
   const auto gather_terms = [&](int module_global, int level,
                                 std::span<const unsigned> pixel_hist,
-                                std::vector<PixelTerm>& out_terms) {
+                                std::vector<kernels::CTerm>& out_terms) {
     const std::size_t base =
         static_cast<std::size_t>(module_global) * static_cast<std::size_t>(bits);
     for (int wb = 0; wb < bits; ++wb) {
@@ -103,7 +102,7 @@ void DfeEqualizer::equalize_into(const sig::IqWaveform& rx, std::size_t payload_
       if (key == 0) continue;
       const double area = static_cast<double>(1 << weight_bit) / area_denom;
       // rt-check: alloc-ok (pooled ws.terms; capacity amortized across slots and packets)
-      out_terms.push_back({bank_.pulse(module_global, key),
+      out_terms.push_back({bank_.pulse(module_global, key).data(),
                            area * bank_.pixel_gain(module_global, wb)});
     }
   };
@@ -162,12 +161,8 @@ void DfeEqualizer::equalize_into(const sig::IqWaveform& rx, std::size_t payload_
         terms.clear();
         gather_terms(m, sym.level_i, b.pixel_hist, terms);
         if (p_.use_q_channel) gather_terms(l + m, sym.level_q, b.pixel_hist, terms);
-        double score = 0.0;
-        for (std::size_t k = 0; k < t_samps; ++k) {
-          Complex e = b.residual[k];
-          for (const auto& t : terms) e -= t.weight * t.tmpl[k];
-          score += std::norm(e);
-        }
+        const double score =
+            kernels::dfe_score(t_samps, b.residual.data(), terms.data(), terms.size());
         candidates.push_back({bi, sym, b.metric + score});
       }
     }
@@ -232,11 +227,13 @@ void DfeEqualizer::equalize_into(const sig::IqWaveform& rx, std::size_t payload_
       gather_terms(m, c.sym.level_i, parent.pixel_hist, terms);
       if (p_.use_q_channel) gather_terms(l + m, c.sym.level_q, parent.pixel_hist, terms);
       nb.residual.resize(w_samps);
-      for (std::size_t k = t_samps; k < w_samps; ++k) {
-        Complex e = parent.residual[k];
-        for (const auto& t : terms) e -= t.weight * t.tmpl[k];
-        nb.residual[k - t_samps] = e;
-      }
+      // Re-base every template at the feedback offset so the kernel walks
+      // contiguous arrays: dst[k] = src[t_samps + k] - sum w * tmpl[t_samps + k].
+      ws.tail_terms.resize(terms.size());
+      for (std::size_t t = 0; t < terms.size(); ++t)
+        ws.tail_terms[t] = {terms[t].tmpl + t_samps, terms[t].w};
+      kernels::dfe_residual(w_samps - t_samps, parent.residual.data() + t_samps,
+                            nb.residual.data(), ws.tail_terms.data(), ws.tail_terms.size());
       const std::size_t next_window_begin =
           payload_begin + (static_cast<std::size_t>(n) + 1) * t_samps + (w_samps - t_samps);
       for (std::size_t k = 0; k < t_samps; ++k)

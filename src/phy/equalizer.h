@@ -15,6 +15,7 @@
 #include <span>
 #include <vector>
 
+#include "kernels/kernels.h"
 #include "phy/constellation.h"
 #include "phy/params.h"
 #include "phy/pulse_model.h"
@@ -43,16 +44,12 @@ struct EqualizerWorkspace {
     SymbolLevels sym;
     double metric;
   };
-  struct PixelTerm {
-    std::span<const Complex> tmpl;
-    Complex weight;  ///< area x calibrated pixel gain
-  };
-
   std::vector<Branch> cur;   ///< live branches (first n_cur entries)
   std::vector<Branch> next;  ///< survivor pool being built
   std::size_t n_cur = 0;
   std::vector<Candidate> candidates;
-  std::vector<PixelTerm> terms;
+  std::vector<kernels::CTerm> terms;       ///< per-candidate template/weight terms
+  std::vector<kernels::CTerm> tail_terms;  ///< `terms` re-based at the feedback offset
   std::vector<SymbolLevels> alphabet;  ///< cached constellation alphabet
   int alphabet_bits = 0;               ///< cache key: bits per axis
   int alphabet_q = -1;                 ///< cache key: use_q (as int; -1 = invalid)

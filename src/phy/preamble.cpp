@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "kernels/kernels.h"
 #include "lcm/tag_array.h"
 #include "linalg/least_squares.h"
 #include "obs/trace.h"
@@ -137,10 +138,8 @@ PreambleDetection PreambleProcessor::detect(const sig::IqWaveform& rx, std::size
   if (det.start_sample + reference_.size() <= rx.size()) {
     const std::size_t k = reference_.size();
     ws.fitted.resize(k);
-    for (std::size_t i = 0; i < k; ++i) {
-      const Complex x = rx[det.start_sample + i];
-      ws.fitted[i] = det.a * x + det.b * std::conj(x) + det.c;
-    }
+    kernels::wl_transform(k, rx.samples.data() + det.start_sample, ws.fitted.data(), det.a,
+                          det.b, det.c);
     det.snr = sig::estimate_snr(ws.fitted, reference_);
   }
   // Two acceptance paths: a clean regression fit (high SNR), or a strong
@@ -166,10 +165,9 @@ void PreambleProcessor::correct_in_place(sig::IqWaveform& rx,
   RT_DCHECK_FINITE(det.a);
   RT_DCHECK_FINITE(det.b);
   RT_DCHECK_FINITE(det.c);
-  for (std::size_t i = 0; i < rx.size(); ++i) {
-    const Complex x = rx[i];
-    rx[i] = det.a * x + det.b * std::conj(x) + det.c;
-  }
+  // In-place widely-linear correction: the kernel is elementwise, so
+  // src == dst aliasing is safe under both backends.
+  kernels::wl_transform(rx.size(), rx.samples.data(), rx.samples.data(), det.a, det.b, det.c);
 }
 
 }  // namespace rt::phy

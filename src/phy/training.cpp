@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "kernels/kernels.h"
 #include "linalg/least_squares.h"
 #include "linalg/svd.h"
 #include "obs/trace.h"
@@ -118,8 +119,22 @@ void OnlineTrainer::train_into(const PhyParams& params, const OfflineModel& mode
   const std::size_t unknowns = static_cast<std::size_t>(modules) * static_cast<std::size_t>(s_rank);
   // Ridge regularization: stack sqrt(lambda) I under the design matrix so
   // the QR solve minimizes ||A g - b||^2 + lambda ||g||^2.
-  auto& a = ws.a;
-  a.resize(n + unknowns, unknowns);
+  //
+  // The design is built column-major (column u at a_cm[u*rows ..]) with a
+  // per-call transpose of the offline bases, so every accumulation below
+  // runs over contiguous spans through the kernel layer. The additions per
+  // element are unchanged in value and order, and qr_decompose_cm_into
+  // feeds MGS the same column-major copy qr_decompose_into would build --
+  // the solve is bit-identical to the old row-major path.
+  const std::size_t rows = n + unknowns;
+  ws.a_cm.assign(rows * unknowns, 0.0);
+  const std::size_t domain = model.domain();
+  ws.bases_cm.resize(static_cast<std::size_t>(s_rank) * domain);
+  for (int s = 0; s < s_rank; ++s) {
+    double* dst = ws.bases_cm.data() + static_cast<std::size_t>(s) * domain;
+    for (std::size_t idx = 0; idx < domain; ++idx)
+      dst[idx] = model.bases(idx, static_cast<std::size_t>(s));
+  }
   ws.b_re.assign(n + unknowns, 0.0);
   ws.b_im.assign(n + unknowns, 0.0);
   auto& b_re = ws.b_re;
@@ -134,14 +149,13 @@ void OnlineTrainer::train_into(const PhyParams& params, const OfflineModel& mode
   for (const auto& tf : ws.schedule) {
     const std::size_t off =
         static_cast<std::size_t>(tf.slot - layout.training_begin()) * t_samps;
+    if (off >= n) continue;
+    const std::size_t len = std::min(pulse_len, n - off);
     for (int s = 0; s < s_rank; ++s) {
       const std::size_t u = static_cast<std::size_t>(tf.module_global) * s_rank + s;
       const std::size_t key_base = static_cast<std::size_t>(tf.key()) * pulse_len;
-      for (std::size_t k = 0; k < pulse_len; ++k) {
-        const std::size_t row = off + k;
-        if (row >= n) break;
-        a(row, u) += model.bases(key_base + k, static_cast<std::size_t>(s));
-      }
+      kernels::accum_real(len, ws.bases_cm.data() + static_cast<std::size_t>(s) * domain + key_base,
+                          ws.a_cm.data() + u * rows + off);
     }
   }
 
@@ -152,21 +166,20 @@ void OnlineTrainer::train_into(const PhyParams& params, const OfflineModel& mode
   if (ridge > 0.0) {
     const double sigma1 = model.sigma.empty() ? 1.0 : model.sigma.front();
     for (std::size_t u = 0; u < unknowns; ++u) {
-      double col_sq = 0.0;
-      for (std::size_t i = 0; i < n; ++i) col_sq += a(i, u) * a(i, u);
+      const double col_sq = kernels::sum_sq_real(n, ws.a_cm.data() + u * rows);
       const int s = narrow_cast<int>(u % static_cast<std::size_t>(s_rank));
       const double sig =
           (s < narrow_cast<int>(model.sigma.size()) && model.sigma[s] > 0.0) ? model.sigma[s]
                                                                              : sigma1;
       const double weight = sigma1 / sig;
-      a(n + u, u) = std::sqrt(ridge * col_sq) * weight;
+      ws.a_cm[u * rows + n + u] = std::sqrt(ridge * col_sq) * weight;
     }
   }
 
   // A is real; solve the complex fit as two real least-squares problems
   // off one QR decomposition.
   RT_OBS_COUNT(kLsSolves, 2);
-  linalg::qr_decompose_into(a, ws.ls);
+  linalg::qr_decompose_cm_into(std::span<const double>(ws.a_cm), rows, unknowns, ws.ls);
   const auto re_sol = linalg::solve_after_qr(std::span<const double>(b_re), ws.ls);
   ws.g_re.assign(re_sol.begin(), re_sol.end());
   const auto im_sol = linalg::solve_after_qr(std::span<const double>(b_im), ws.ls);
@@ -187,8 +200,9 @@ void OnlineTrainer::train_into(const PhyParams& params, const OfflineModel& mode
         const std::size_t u = static_cast<std::size_t>(m) * s_rank + s;
         const Complex gamma(g_re[u], g_im[u]);
         const std::size_t key_base = static_cast<std::size_t>(key) * pulse_len;
-        for (std::size_t k = 0; k < pulse_len; ++k)
-          pulse[k] += gamma * model.bases(key_base + k, static_cast<std::size_t>(s));
+        kernels::caxpy_real(pulse_len, gamma,
+                            ws.bases_cm.data() + static_cast<std::size_t>(s) * domain + key_base,
+                            pulse.data());
       }
     }
   }

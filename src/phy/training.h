@@ -65,7 +65,8 @@ struct TrainingWorkspace {
   PhyParams schedule_params;
   FrameLayout schedule_layout;
 
-  linalg::RealMatrix a;               ///< (n + unknowns) x unknowns design
+  std::vector<double> a_cm;           ///< (n + unknowns) x unknowns design, column-major
+  std::vector<double> bases_cm;       ///< rank x domain transpose of OfflineModel::bases
   std::vector<double> b_re;           ///< real part of the rhs
   std::vector<double> b_im;           ///< imaginary part of the rhs
   linalg::LsWorkspace<double> ls;     ///< QR solve scratch

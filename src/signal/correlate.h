@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "kernels/kernels.h"
 #include "signal/waveform.h"
 
 namespace rt::sig {
@@ -22,12 +23,10 @@ namespace rt::sig {
   std::vector<double> out(n, 0.0);
   if (ref_energy == 0.0) return out;
   for (std::size_t t = 0; t < n; ++t) {
-    Complex acc{};
-    double x_energy = 0.0;
-    for (std::size_t k = 0; k < ref.size(); ++k) {
-      acc += std::conj(ref[k]) * x[t + k];
-      x_energy += std::norm(x[t + k]);
-    }
+    // Independent accumulation chains, so the split kernel calls keep the
+    // scalar backend bit-identical to the old fused loop.
+    const Complex acc = kernels::cdotc(ref.size(), ref.data(), x.data() + t);
+    const double x_energy = kernels::sum_norm_cplx(ref.size(), x.data() + t);
     out[t] = x_energy > 0.0 ? std::abs(acc) / std::sqrt(ref_energy * x_energy) : 0.0;
   }
   return out;
@@ -85,14 +84,24 @@ inline void sliding_correlation_centered_into(std::span<const Complex> x,
   }
   const auto k = ref.size();
   for (std::size_t t = 0; t < n; ++t) {
-    Complex acc{};
-    for (std::size_t i = 0; i < k; ++i) acc += std::conj(ref[i]) * x[t + i];
+    const Complex acc = kernels::cdotc(k, ref.data(), x.data() + t);
     const Complex wsum = scratch.psum[t + k] - scratch.psum[t];
     const double wenergy = scratch.penergy[t + k] - scratch.penergy[t];
     const double centred_energy = wenergy - std::norm(wsum) / static_cast<double>(k);
     out[t] = centred_energy > 1e-300 ? std::abs(acc) / std::sqrt(cref.energy * centred_energy)
                                      : 0.0;
   }
+}
+
+/// Normalizes raw window sums into the centred correlation value:
+/// acc / sqrt(ref_energy * (wenergy - |wsum|^2 / k)). Shared by
+/// correlation_centered_at and the streaming receiver's split-plane scan,
+/// so both normalize with the exact same op chain.
+[[nodiscard]] inline Complex centered_correlation_from_stats(const kernels::CorrStats& st,
+                                                             double ref_energy, std::size_t k) {
+  if (k == 0 || ref_energy == 0.0) return Complex{};
+  const double centred_energy = st.wenergy - std::norm(st.wsum) / static_cast<double>(k);
+  return centred_energy > 1e-300 ? st.acc / std::sqrt(ref_energy * centred_energy) : Complex{};
 }
 
 /// Complex-valued centred normalized correlation at ONE alignment `t`.
@@ -109,17 +118,8 @@ inline void sliding_correlation_centered_into(std::span<const Complex> x,
   const auto& ref = cref.ref;
   const std::size_t k = ref.size();
   if (k == 0 || cref.energy == 0.0 || t + k > x.size()) return Complex{};
-  Complex acc{};
-  Complex wsum{};
-  double wenergy = 0.0;
-  for (std::size_t i = 0; i < k; ++i) {
-    const Complex v = x[t + i];
-    acc += std::conj(ref[i]) * v;
-    wsum += v;
-    wenergy += std::norm(v);
-  }
-  const double centred_energy = wenergy - std::norm(wsum) / static_cast<double>(k);
-  return centred_energy > 1e-300 ? acc / std::sqrt(cref.energy * centred_energy) : Complex{};
+  const kernels::CorrStats st = kernels::corr_stats(k, ref.data(), x.data() + t);
+  return centered_correlation_from_stats(st, cref.energy, k);
 }
 
 /// Mean-invariant normalized correlation: both the reference and each

@@ -1,9 +1,11 @@
 #include "signal/fir.h"
 
 #include <cmath>
+#include <type_traits>
 
 #include "common/error.h"
 #include "common/units.h"
+#include "kernels/kernels.h"
 
 namespace rt::sig {
 
@@ -21,7 +23,8 @@ std::vector<double> hamming_window(std::size_t n) {
 
 }  // namespace
 
-FirFilter::FirFilter(std::vector<double> taps) : taps_(std::move(taps)) {
+FirFilter::FirFilter(std::vector<double> taps)
+    : taps_(std::move(taps)), taps_rev_(taps_.rbegin(), taps_.rend()) {
   RT_ENSURE(!taps_.empty(), "FIR filter needs at least one tap");
   RT_ENSURE(taps_.size() % 2 == 1, "FIR designs here use odd tap counts (integer group delay)");
 }
@@ -87,17 +90,37 @@ BasicWaveform<T> FirFilter::apply_impl(const BasicWaveform<T>& in) const {
   const std::size_t delay = group_delay();
   const auto n = static_cast<std::ptrdiff_t>(in.size());
   const auto nt = static_cast<std::ptrdiff_t>(taps_.size());
-  for (std::ptrdiff_t i = 0; i < n; ++i) {
+  const auto d = static_cast<std::ptrdiff_t>(delay);
+  // Edge samples -- where the tap window clips either end of the input --
+  // keep the guarded per-tap walk of the original loop.
+  const auto edge = [&](std::ptrdiff_t i) {
     T acc{};
     // Output sample i corresponds to input centred at i (delay compensated).
-    const std::ptrdiff_t base = i + static_cast<std::ptrdiff_t>(delay);
+    const std::ptrdiff_t base = i + d;
     for (std::ptrdiff_t k = 0; k < nt; ++k) {
       const std::ptrdiff_t j = base - k;
       if (j < 0 || j >= n) continue;
       acc += in.samples[static_cast<std::size_t>(j)] * taps_[static_cast<std::size_t>(k)];
     }
     out.samples[static_cast<std::size_t>(i)] = acc;
+  };
+  // Interior: the full window [base - nt + 1, base] is in range, so the
+  // bounds checks drop out and the tap dot runs through the kernel layer
+  // (the scalar backend walks taps ascending exactly like `edge`).
+  const std::ptrdiff_t lo = std::min(n, nt - 1 - d);
+  const std::ptrdiff_t hi = std::max(lo, std::min(n, n - d));
+  for (std::ptrdiff_t i = 0; i < lo; ++i) edge(i);
+  for (std::ptrdiff_t i = lo; i < hi; ++i) {
+    const T* xw = in.samples.data() + (i + d - (nt - 1));
+    if constexpr (std::is_same_v<T, Complex>) {
+      out.samples[static_cast<std::size_t>(i)] =
+          kernels::fir_dot(taps_.size(), taps_.data(), taps_rev_.data(), xw);
+    } else {
+      out.samples[static_cast<std::size_t>(i)] =
+          kernels::fir_dot_real(taps_.size(), taps_.data(), taps_rev_.data(), xw);
+    }
   }
+  for (std::ptrdiff_t i = hi; i < n; ++i) edge(i);
   return out;
 }
 

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/error.h"
+#include "kernels/kernels.h"
 #include "obs/trace.h"
 #include "optics/polarization.h"
 #include "phy/frame.h"
@@ -12,6 +13,7 @@
 namespace rt::sim {
 
 std::uint64_t next_channel_id() {
+  // rt-check: sync-ok (process-wide id counter; channels are built from any thread)
   static std::atomic<std::uint64_t> counter{0};
   return counter.fetch_add(1, std::memory_order_relaxed) + 1;
 }
@@ -24,6 +26,10 @@ void ChannelRealization::synthesize_into(std::span<const lcm::Firing> firings, d
   // renders exactly what a freshly built tag would.
   tag_.reset();
   tag_.synthesize_into(firings, sample_rate_hz_, duration_s, scratch, out);
+  // Gain chain split into a (scalar, transcendental-heavy) gain fill and a
+  // batched complex scale; `out[i] *= g` and cscale apply the identical
+  // complex product per sample.
+  gain_buf_.resize(out.size());
   for (std::size_t i = 0; i < out.size(); ++i) {
     const double t = static_cast<double>(i) / sample_rate_hz_;
     sig::Complex g = rot_ * mobility_.gain(t);
@@ -31,8 +37,9 @@ void ChannelRealization::synthesize_into(std::span<const lcm::Firing> firings, d
       g *= optics::roll_rotation(rt::deg_to_rad(dynamics_.roll_rate_deg_s) * t);
       g *= std::max(0.05, 1.0 + dynamics_.gain_drift_per_s * t);
     }
-    out[i] *= g;
+    gain_buf_[i] = g;
   }
+  kernels::cscale(out.size(), out.samples.data(), gain_buf_.data());
   if (sigma_ > 0.0 && noise_rng != nullptr) sig::add_noise_sigma(out, sigma_, *noise_rng);
 }
 

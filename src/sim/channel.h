@@ -103,6 +103,7 @@ class ChannelRealization {
   ChannelDynamics dynamics_;
   double sigma_;
   std::uint64_t channel_id_;
+  std::vector<sig::Complex> gain_buf_;  ///< per-sample gain scratch (capacity reused)
 };
 
 class Channel {

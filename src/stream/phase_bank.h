@@ -16,6 +16,7 @@
 
 #include "common/error.h"
 #include "common/narrow.h"
+#include "kernels/kernels.h"
 #include "signal/waveform.h"
 
 namespace rt::stream {
@@ -24,32 +25,33 @@ class PhaseBank {
  public:
   explicit PhaseBank(int hypotheses) {
     RT_ENSURE(hypotheses >= 1 && hypotheses <= 64, "phase hypothesis count out of range");
-    rotors_.reserve(static_cast<std::size_t>(hypotheses));
+    // Rotors are stored as split planes (SoA) so the per-alignment score
+    // is one branch-free kernel sweep over contiguous doubles.
+    rotors_re_.reserve(static_cast<std::size_t>(hypotheses));
+    rotors_im_.reserve(static_cast<std::size_t>(hypotheses));
     for (int k = 0; k < hypotheses; ++k) {
       const double phi = 2.0 * std::numbers::pi * k / hypotheses;
-      rotors_.emplace_back(std::cos(phi), std::sin(phi));
+      rotors_re_.push_back(std::cos(phi));
+      rotors_im_.push_back(std::sin(phi));
     }
   }
 
-  [[nodiscard]] int size() const { return narrow_cast<int>(rotors_.size()); }
+  [[nodiscard]] int size() const { return narrow_cast<int>(rotors_re_.size()); }
 
   /// max_k Re(rotor_k * c): a cheap lower bound on |c| that stays within
   /// cos(pi/K) of it for any phase of `c`.
   [[nodiscard]] double score(sig::Complex c) const {
-    double best = rotors_[0].real() * c.real() - rotors_[0].imag() * c.imag();
-    for (std::size_t k = 1; k < rotors_.size(); ++k) {
-      const double s = rotors_[k].real() * c.real() - rotors_[k].imag() * c.imag();
-      if (s > best) best = s;
-    }
-    return best;
+    return kernels::phase_score_max(rotors_re_.size(), rotors_re_.data(), rotors_im_.data(),
+                                    c.real(), c.imag());
   }
 
-  /// Index of the winning hypothesis (phi = 2 pi k / K).
+  /// Index of the winning hypothesis (phi = 2 pi k / K). Cold path (once
+  /// per detection, for telemetry), so it stays a plain scalar argmax.
   [[nodiscard]] int best_hypothesis(sig::Complex c) const {
     int best = 0;
-    double best_s = rotors_[0].real() * c.real() - rotors_[0].imag() * c.imag();
-    for (std::size_t k = 1; k < rotors_.size(); ++k) {
-      const double s = rotors_[k].real() * c.real() - rotors_[k].imag() * c.imag();
+    double best_s = rotors_re_[0] * c.real() - rotors_im_[0] * c.imag();
+    for (std::size_t k = 1; k < rotors_re_.size(); ++k) {
+      const double s = rotors_re_[k] * c.real() - rotors_im_[k] * c.imag();
       if (s > best_s) {
         best_s = s;
         best = narrow_cast<int>(k);
@@ -59,7 +61,8 @@ class PhaseBank {
   }
 
  private:
-  std::vector<sig::Complex> rotors_;
+  std::vector<double> rotors_re_;
+  std::vector<double> rotors_im_;
 };
 
 }  // namespace rt::stream

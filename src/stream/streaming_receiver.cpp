@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "kernels/kernels.h"
 #include "phy/frame.h"
 #include "signal/correlate.h"
 
@@ -48,8 +49,17 @@ StreamingReceiver::StreamingReceiver(const phy::Demodulator& demod, const Stream
   const std::size_t scan_span = (opts_.scan_block - 1) * opts_.scan_stride + ref_len_;
   const std::size_t sync_span = peak_span_ + opts_.scan_stride + ref_len_;
   scan_buf_.reserve(std::max(scan_span, sync_span));
+  scan_re_.reserve(std::max(scan_span, sync_span));
+  scan_im_.reserve(std::max(scan_span, sync_span));
   win_.sample_rate_hz = demod.params().sample_rate_hz;
   win_.samples.reserve(window_len_);
+  // Split the centred reference once: the scan statistic then runs on
+  // re/im planes (bitwise-identical accumulation; see corr_stats_split).
+  const auto& cref = demod.preamble().centered_reference();
+  cref_re_.resize(cref.ref.size());
+  cref_im_.resize(cref.ref.size());
+  kernels::split_complex(cref.ref.size(), cref.ref.data(), cref_re_.data(), cref_im_.data());
+  cref_energy_ = cref.energy;
 }
 
 void StreamingReceiver::push_samples(std::span<const sig::Complex> chunk, FrameSink& sink) {
@@ -111,14 +121,19 @@ bool StreamingReceiver::step_searching() {
   const std::size_t span = (m - 1) * stride + ref_len_;
   scan_buf_.resize(span);
   ring_.copy_out(scan_pos_, std::span(scan_buf_.data(), span));
-  const auto& cref = demod_->preamble().centered_reference();
-  const std::span<const sig::Complex> buf(scan_buf_);
+  scan_re_.resize(span);
+  scan_im_.resize(span);
+  kernels::split_complex(span, scan_buf_.data(), scan_re_.data(), scan_im_.data());
   for (std::size_t j = 0; j < m; ++j) {
-    // correlation_centered_at is a pure function of the window samples
-    // alone, so the crossing decision at an absolute alignment does not
+    // The split-plane statistic is a pure function of the window samples
+    // alone (and bitwise equal to correlation_centered_at on the same
+    // window), so the crossing decision at an absolute alignment does not
     // depend on where this scan block happened to start (chunk-size
     // invariance).
-    const sig::Complex c = sig::correlation_centered_at(buf, cref, j * stride);
+    const kernels::CorrStats st =
+        kernels::corr_stats_split(ref_len_, cref_re_.data(), cref_im_.data(),
+                                  scan_re_.data() + j * stride, scan_im_.data() + j * stride);
+    const sig::Complex c = sig::centered_correlation_from_stats(st, cref_energy_, ref_len_);
     if (bank_.score(c) >= opts_.scan_gate) {
       const std::uint64_t t_c = scan_pos_ + j * stride;
       // The true peak can trail the crossing by up to one reference

@@ -166,8 +166,15 @@ class StreamingReceiver {
   std::size_t lead_ = 0;          ///< samples of look-back in the window
 
   // Preallocated working buffers (sized at construction; the hot path
-  // never grows them).
+  // never grows them). The scan works on split re/im planes (SoA): the
+  // block is split once, then every alignment's correlation statistics
+  // run over contiguous doubles (kernels::corr_stats_split).
   std::vector<sig::Complex> scan_buf_;
+  std::vector<double> scan_re_;
+  std::vector<double> scan_im_;
+  std::vector<double> cref_re_;  ///< split centred reference (fixed)
+  std::vector<double> cref_im_;
+  double cref_energy_ = 0.0;
   sig::IqWaveform win_;
   phy::DemodWorkspace dws_;
   phy::DemodResult result_;

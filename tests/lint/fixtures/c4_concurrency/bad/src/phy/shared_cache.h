@@ -1,0 +1,21 @@
+// BAD exemplar for rt_check C4 (concurrency): a stage header reaches for
+// a lock and an atomic, coupling the pure pipeline to shared mutable
+// state behind parallel_sweep's back.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+
+namespace rt::phy {
+
+struct SharedCache {
+  std::mutex guard;
+  std::atomic<int> hits{0};
+
+  int bump() {
+    const std::lock_guard<std::mutex> lock(guard);
+    return hits.fetch_add(1) + 1;
+  }
+};
+
+}  // namespace rt::phy

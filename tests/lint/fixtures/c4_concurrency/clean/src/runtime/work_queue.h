@@ -1,0 +1,23 @@
+// CLEAN exemplar for rt_check C4 (concurrency): runtime/ is the exempt
+// module -- thread coordination primitives live here by design, no
+// annotation needed.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+namespace rt::runtime {
+
+struct WorkQueue {
+  std::mutex guard;
+  std::condition_variable ready;
+  int pending = 0;
+
+  void post() {
+    const std::lock_guard<std::mutex> lock(guard);
+    ++pending;
+    ready.notify_one();
+  }
+};
+
+}  // namespace rt::runtime

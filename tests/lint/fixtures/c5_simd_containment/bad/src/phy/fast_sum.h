@@ -1,0 +1,23 @@
+// BAD exemplar for rt_check C5 (simd-containment): raw AVX2 intrinsics
+// in stage code bypass the kernels:: API, so the scalar backend is no
+// longer the bit-exact specification of this loop.
+#pragma once
+
+#include <immintrin.h>
+
+#include <cstddef>
+
+namespace rt::phy {
+
+inline double fast_sum(std::size_t n, const double* x) {
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) acc = _mm256_add_pd(acc, _mm256_loadu_pd(x + i));
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, acc);
+  double total = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+  for (; i < n; ++i) total += x[i];
+  return total;
+}
+
+}  // namespace rt::phy

@@ -1,0 +1,18 @@
+// CLEAN exemplar for rt_check C5 (simd-containment): the dispatch header
+// is the one file where vendor intrinsics may appear -- every other
+// module reaches SIMD through the kernels:: API.
+#pragma once
+
+#include <immintrin.h>
+
+#include <cstddef>
+
+namespace rt::kernels::detail {
+
+inline double hsum4(__m256d v) {
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, v);
+  return (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+}
+
+}  // namespace rt::kernels::detail

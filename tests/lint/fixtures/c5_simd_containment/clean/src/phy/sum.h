@@ -1,0 +1,16 @@
+// CLEAN exemplar for rt_check C5 (simd-containment): stage code keeps
+// its loops scalar (or calls kernels::) and leaves vectorization to the
+// kernel backends; no intrinsics, no `#pragma omp simd`.
+#pragma once
+
+#include <cstddef>
+
+namespace rt::phy {
+
+inline double sum(std::size_t n, const double* x) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) total += x[i];
+  return total;
+}
+
+}  // namespace rt::phy

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Golden-fixture tests for the project linters.
 
-Each rule of tools/rt_lint.py (R1-R5) and tools/rt_check (C1-C3) has a
+Each rule of tools/rt_lint.py (R1-R5) and tools/rt_check (C1-C5) has a
 `bad` fixture that must produce exactly that rule's finding (exit 1) and
 a `clean` fixture that must pass (exit 0). The clean exemplars double as
 documentation of the approved fix or suppression-annotation style.
@@ -32,6 +32,8 @@ ALL_TAGS = (
     "hotpath-alloc",
     "layering",
     "layering-docs",
+    "concurrency",
+    "simd-containment",
 )
 
 
@@ -69,6 +71,11 @@ CASES: dict[str, tuple] = {
     "c2_hotpath_alloc": (lambda root: rt_check_cmd(root, "C2"), "hotpath-alloc"),
     "c2_stream_root": (lambda root: rt_check_cmd(root, "C2"), "hotpath-alloc"),
     "c3_layering": (lambda root: rt_check_cmd(root, "C3", C3_SPEC), "layering"),
+    "c4_concurrency": (lambda root: rt_check_cmd(root, "C4"), "concurrency"),
+    "c5_simd_containment": (
+        lambda root: rt_check_cmd(root, "C5"),
+        "simd-containment",
+    ),
 }
 
 

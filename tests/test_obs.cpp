@@ -243,6 +243,29 @@ TEST(ExportTest, ChromeTraceAndMetricsJsonAreWellFormed) {
   std::filesystem::remove(metrics_path);
 }
 
+TEST(ExportTest, FoldedStacksRebuildChainsAndAggregate) {
+  // Two decode passes on thread 0, one with a nested sync span (records
+  // close children-first, so the child precedes its parent here), plus a
+  // root-level scan on thread 1 that must not inherit thread 0's stack.
+  std::vector<SpanRecord> spans;
+  spans.push_back({"sync_test", 1200, 300, 0, 1});
+  spans.push_back({"decode_test", 1000, 2000, 0, 0});
+  spans.push_back({"decode_test", 4000, 1000, 0, 0});
+  spans.push_back({"scan_test", 500, 4000, 1, 0});
+
+  const auto path = std::filesystem::temp_directory_path() / "rt_test_obs_folded.txt";
+  write_folded_stacks(path.string(), spans);
+  const std::string folded = slurp(path);
+  // Inclusive aggregation: both decode spans merge into one line; the
+  // nested span keeps its full chain; values are rounded microseconds.
+  EXPECT_NE(folded.find("decode_test 3\n"), std::string::npos);
+  EXPECT_NE(folded.find("decode_test;sync_test 0\n"), std::string::npos);
+  EXPECT_NE(folded.find("scan_test 4\n"), std::string::npos);
+  // No cross-thread chain leaked.
+  EXPECT_EQ(folded.find("decode_test;scan_test"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
 TEST(ExportTest, StageSummaryPrintsAggregatedStages) {
   std::vector<SpanRecord> spans;
   spans.push_back({"dfe_test", 0, 2000, 0, 0});

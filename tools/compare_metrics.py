@@ -20,17 +20,28 @@ Compares a candidate metrics file against a baseline along three axes:
                 machine (consecutive local runs); enabled by passing
                 --max-slowdown-pct explicitly.
 
+With --update-baseline the comparison is skipped: the candidate is
+rewritten onto the baseline path with a `provenance` object (UTC
+timestamp, source path, git commit, generator) so a committed baseline
+always says where it came from. Re-run the gate afterwards to confirm
+the fresh baseline passes against its own source.
+
 Exit codes: 0 = within thresholds, 1 = regression found, 2 = bad input.
 
 Usage:
   python3 tools/compare_metrics.py BASELINE.json CANDIDATE.json
   python3 tools/compare_metrics.py --max-slowdown-pct 25 old.json new.json
+  python3 tools/compare_metrics.py --update-baseline \\
+      tools/baselines/BENCH_x.metrics.json build-obs/bench/BENCH_x.metrics.json
 """
 
 from __future__ import annotations
 
 import argparse
+import datetime
 import json
+import pathlib
+import subprocess
 import sys
 
 SCHEMAS = ("rt-metrics-v1", "rt-metrics-v2")
@@ -139,6 +150,39 @@ def print_summary(base: dict, cand: dict) -> None:
         )
 
 
+def git_commit() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            cwd=pathlib.Path(__file__).resolve().parent,
+            timeout=10,
+        )
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except OSError:
+        pass
+    return "unknown"
+
+
+def update_baseline(baseline_path: str, candidate_path: str) -> int:
+    doc = load(candidate_path)
+    doc["provenance"] = {
+        "generated_utc": datetime.datetime.now(datetime.timezone.utc)
+        .replace(microsecond=0)
+        .isoformat(),
+        "source": candidate_path,
+        "git_commit": git_commit(),
+        "generator": "tools/compare_metrics.py --update-baseline",
+    }
+    path = pathlib.Path(baseline_path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+    print(f"compare_metrics: baseline {baseline_path} regenerated from {candidate_path}")
+    return 0
+
+
 def main(argv: list[str]) -> int:
     ap = argparse.ArgumentParser(
         prog="compare_metrics.py",
@@ -180,7 +224,16 @@ def main(argv: list[str]) -> int:
     ap.add_argument(
         "--no-counters", action="store_true", help="skip the exact counter comparison"
     )
+    ap.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="regenerate BASELINE from CANDIDATE (with provenance) instead "
+        "of comparing",
+    )
     args = ap.parse_args(argv)
+
+    if args.update_baseline:
+        return update_baseline(args.baseline, args.candidate)
 
     base = load(args.baseline)
     cand = load(args.candidate)

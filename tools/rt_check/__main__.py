@@ -1,7 +1,7 @@
 """rt_check CLI.
 
 Usage:
-  python3 tools/rt_check [--root DIR] [--rules C1,C2,C3] [--json OUT]
+  python3 tools/rt_check [--root DIR] [--rules C1,C2,C3,C4,C5] [--json OUT]
                          [--spec PATH] [--engine auto|clang|tokens]
                          [--no-doc-drift] [--print-spec] [-v]
 
@@ -28,10 +28,11 @@ if __package__ in (None, ""):
 from . import __version__
 from .source import iter_source_files
 from . import cpp_index
-from .rules import (check_determinism, check_hotpath_alloc, check_layering,
-                    load_layering_spec, render_layering_spec)
+from .rules import (check_concurrency, check_determinism, check_hotpath_alloc,
+                    check_layering, check_simd_containment, load_layering_spec,
+                    render_layering_spec)
 
-RULE_IDS = ("C1", "C2", "C3")
+RULE_IDS = ("C1", "C2", "C3", "C4", "C5")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -39,8 +40,8 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--root", type=Path,
                     default=Path(__file__).resolve().parent.parent.parent,
                     help="repo root to scan (default: this checkout)")
-    ap.add_argument("--rules", default="C1,C2,C3",
-                    help="comma-separated subset of C1,C2,C3")
+    ap.add_argument("--rules", default="C1,C2,C3,C4,C5",
+                    help="comma-separated subset of C1,C2,C3,C4,C5")
     ap.add_argument("--json", type=Path, default=None,
                     help="write findings as JSON to this path")
     ap.add_argument("--spec", type=Path, default=None,
@@ -111,6 +112,12 @@ def main(argv: list[str] | None = None) -> int:
     if "C3" in rules:
         findings.extend(check_layering(files, spec, root,
                                        check_docs=not args.no_doc_drift))
+
+    if "C4" in rules:
+        findings.extend(check_concurrency(files))
+
+    if "C5" in rules:
+        findings.extend(check_simd_containment(files))
 
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     for f in findings:

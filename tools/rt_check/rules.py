@@ -1,7 +1,7 @@
-"""The three rt_check rule families: C1 determinism, C2 hot-path
-allocations, C3 layering. Each returns a list of Finding; suppression
-(`// rt-check: <tag>-ok (<why>)`) is honored here so every rule shares
-identical annotation semantics."""
+"""The rt_check rule families: C1 determinism, C2 hot-path allocations,
+C3 layering, C4 concurrency containment, C5 SIMD containment. Each
+returns a list of Finding; suppression (`// rt-check: <tag>-ok (<why>)`)
+is honored here so every rule shares identical annotation semantics."""
 
 from __future__ import annotations
 
@@ -234,6 +234,103 @@ def check_hotpath_alloc(files: list[SourceFile],
             continue
         findings.extend(_alloc_findings_in(fn, sf))
     return findings, [fn.qualname for fn in order]
+
+
+# --------------------------------------------------------------------------
+# C4 concurrency containment
+# --------------------------------------------------------------------------
+
+# Threading/synchronization is runtime/'s job (parallel_sweep owns the
+# thread pool and the per-packet RNG splitting that keeps parallel runs
+# bit-identical to serial ones); obs is exempt like C1 (its recorders may
+# guard telemetry with atomics without affecting results).
+C4_EXEMPT_MODULES = {"runtime", "obs"}
+
+C4_PATTERNS: list[tuple[re.Pattern, str]] = [
+    (re.compile(r"\bstd\s*::\s*atomic\w*\b"),
+     "atomics outside runtime/ hide cross-thread coupling from the "
+     "determinism contract"),
+    (re.compile(r"\bstd\s*::\s*(?:recursive_|timed_|shared_|recursive_timed_)?mutex\b"),
+     "locks belong in runtime/; stage code must stay single-threaded pure "
+     "so parallel_sweep can schedule it freely"),
+    (re.compile(r"\bstd\s*::\s*(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b"),
+     "lock adoption outside runtime/ means a stage took a dependency on "
+     "shared mutable state"),
+    (re.compile(r"\bstd\s*::\s*condition_variable(?:_any)?\b"),
+     "blocking synchronization outside runtime/ can deadlock the sweep "
+     "scheduler"),
+    (re.compile(r"\bstd\s*::\s*(?:counting_|binary_)?semaphore\b|"
+                r"\bstd\s*::\s*(?:latch|barrier)\b"),
+     "thread coordination primitives belong in runtime/"),
+    (re.compile(r"\bstd\s*::\s*(?:call_once|once_flag)\b"),
+     "once-initialization is hidden global state; thread it through "
+     "explicit construction or keep it in runtime/"),
+]
+
+
+def check_concurrency(files: list[SourceFile]) -> list[Finding]:
+    findings: list[Finding] = []
+    for sf in files:
+        parts = sf.rel.split("/")
+        if len(parts) >= 2 and parts[0] == "src" and parts[1] in C4_EXEMPT_MODULES:
+            continue
+        for pat, why in C4_PATTERNS:
+            for m in pat.finditer(sf.stripped):
+                line = sf.line_of(m.start())
+                if sf.suppressed(line, "concurrency"):
+                    continue
+                token = re.sub(r"\s+", "", m.group(0))
+                findings.append(Finding(
+                    sf.rel, line, "concurrency",
+                    f"`{token}` — {why}; move it behind runtime/ or annotate "
+                    "`// rt-check: sync-ok (<why>)`"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# C5 SIMD containment
+# --------------------------------------------------------------------------
+
+# Intrinsics are allowed in exactly one file: the kernel dispatch header.
+# Everything else — including the rest of src/kernels — must reach SIMD
+# through the kernels:: API so the scalar backend stays the bit-exact
+# specification and portability gates live in one place.
+C5_ALLOWED_FILES = {"src/kernels/dispatch.h"}
+
+C5_PATTERNS: list[tuple[re.Pattern, str]] = [
+    (re.compile(r"#\s*include\s*<(?:[xe]mmintrin|pmmintrin|tmmintrin|smmintrin|"
+                r"nmmintrin|wmmintrin|immintrin|x86intrin|x86gprintrin|"
+                r"arm_neon|arm_sve)\.h>"),
+     "vendor intrinsic headers outside the dispatch header defeat the "
+     "portable-backend contract"),
+    (re.compile(r"\b_mm(?:256|512)?_\w+\s*\("),
+     "raw vector intrinsics belong in src/kernels/dispatch.h; call the "
+     "kernels:: API instead"),
+    (re.compile(r"\b__m(?:64|128[di]?|256[di]?|512[di]?)\b"),
+     "vector register types outside the dispatch header leak the backend "
+     "choice into portable code"),
+    (re.compile(r"#\s*pragma\s+omp\s+simd\b"),
+     "pragma-driven vectorization bypasses the kernel layer's bit-identity "
+     "taxonomy; write a kernels:: function with a scalar reference instead"),
+]
+
+
+def check_simd_containment(files: list[SourceFile]) -> list[Finding]:
+    findings: list[Finding] = []
+    for sf in files:
+        if sf.rel in C5_ALLOWED_FILES:
+            continue
+        for pat, why in C5_PATTERNS:
+            for m in pat.finditer(sf.stripped):
+                line = sf.line_of(m.start())
+                if sf.suppressed(line, "simd-containment"):
+                    continue
+                token = re.sub(r"\s+", "", m.group(0))
+                findings.append(Finding(
+                    sf.rel, line, "simd-containment",
+                    f"`{token}` — {why}; or annotate "
+                    "`// rt-check: simd-ok (<why>)`"))
+    return findings
 
 
 # --------------------------------------------------------------------------

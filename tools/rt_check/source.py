@@ -22,6 +22,8 @@ RULE_TAGS = {
     "determinism": "determinism",
     "hotpath-alloc": "alloc",
     "layering": "layering",
+    "concurrency": "sync",
+    "simd-containment": "simd",
 }
 
 
@@ -30,6 +32,7 @@ class Finding:
     path: str  # repo-relative, posix
     line: int  # 1-based
     rule: str  # "determinism" | "hotpath-alloc" | "layering" | "layering-docs"
+    #          # | "concurrency" | "simd-containment"
     message: str
 
     def render(self) -> str:
