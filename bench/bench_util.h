@@ -181,6 +181,12 @@ class BenchReport {
   /// into the report. No-op outside RT_OBS builds (the registry is empty).
   void add_metrics(const obs::MetricsRegistry& m) { obs_metrics_.merge(m); }
 
+  /// Appends already-collected spans (e.g. a fleet campaign's trace).
+  /// No-op outside RT_OBS builds (campaign traces are empty there).
+  void add_trace(std::span<const obs::SpanRecord> spans) {
+    obs_trace_.insert(obs_trace_.end(), spans.begin(), spans.end());
+  }
+
   /// Folds a serial-path recorder (e.g. a PacketWorkspace's) into the
   /// report. No-op unless built with RT_OBS=ON.
   void add_recorder(const obs::Recorder& rec) {

@@ -24,6 +24,8 @@
 #include <vector>
 
 #include "common/units.h"
+#include "fleet/campaign.h"
+#include "fleet/collision.h"
 #include "mac/arq.h"
 #include "mac/frame.h"
 #include "mac/mac_link.h"

@@ -1,0 +1,67 @@
+// Cross-reader slot scheduling: coloring the reader interference graph.
+//
+// Two readers whose coverage regions overlap cannot poll concurrently
+// without risking inter-cell collisions (a tag answering reader A is
+// audible at reader B, corrupting whatever B's own tag is sending). The
+// coordinated schedule partitions the frame into color classes: readers
+// sharing an interference edge get distinct colors and poll in disjoint
+// time slices, trading airtime (1/num_colors per reader) for a collision
+// rate of exactly zero. The uncoordinated schedule gives every reader
+// the full frame and lets fleet/campaign.h charge the resulting
+// cross-cell corruption probability instead -- the quantitative case for
+// coordination that bench_fleet_inventory sweeps.
+//
+// Coloring is greedy smallest-free-color in reader-index order:
+// deterministic, and never worse than max_degree + 1 colors.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.h"
+#include "common/narrow.h"
+#include "fleet/geometry.h"
+
+namespace rt::fleet {
+
+struct SlotSchedule {
+  std::vector<std::uint32_t> colors;  ///< color class per reader
+  std::uint32_t num_colors = 1;
+  bool coordinated = true;
+
+  /// Fraction of the frame a reader may poll in: coordinated readers get
+  /// one color class's slice; uncoordinated readers poll the whole frame.
+  [[nodiscard]] double airtime_share() const {
+    return coordinated ? 1.0 / static_cast<double>(num_colors) : 1.0;
+  }
+
+  friend bool operator==(const SlotSchedule&, const SlotSchedule&) = default;
+};
+
+/// Plans the slot schedule for a deployment. `coordinate` selects the
+/// colored (collision-free) schedule; false yields the single-class
+/// free-for-all the campaign uses as the collision baseline.
+[[nodiscard]] inline SlotSchedule plan_slot_schedule(const Deployment& d, bool coordinate) {
+  RT_ENSURE(!d.reader_x_m.empty(), "schedule needs at least one reader");
+  const std::size_t readers = d.reader_x_m.size();
+  SlotSchedule s;
+  s.coordinated = coordinate;
+  s.colors.assign(readers, 0);
+  if (!coordinate) return s;
+
+  std::uint32_t max_color = 0;
+  std::vector<char> used;
+  for (std::size_t r = 0; r < readers; ++r) {
+    used.assign(readers, 0);
+    for (std::size_t q = 0; q < r; ++q)
+      if (d.conflicts(r, q)) used[s.colors[q]] = 1;
+    std::uint32_t c = 0;
+    while (used[c] != 0) ++c;
+    s.colors[r] = c;
+    if (c > max_color) max_color = c;
+  }
+  s.num_colors = max_color + 1;
+  return s;
+}
+
+}  // namespace rt::fleet

@@ -57,6 +57,12 @@ enum class Counter : std::uint32_t {
   kStreamSofRejects,      ///< gate crossings refused by the soft SOF check
   kStreamDecodeRejects,   ///< decode windows the packet pipeline refused
   kStreamTruncatedFrames, ///< frames cut off by end-of-stream at flush
+  kFleetRounds,           ///< inventory rounds executed across all readers
+  kFleetSlots,            ///< uplink slots granted across all readers
+  kFleetPacketsDelivered, ///< fleet uplink packets received intact
+  kFleetPacketsLost,      ///< fleet uplink packets lost to channel errors
+  kFleetCrossCollisions,  ///< fleet slots corrupted by a neighboring cell
+  kFleetTagsDiscovered,   ///< tags resolved by fleet shard discovery
   kCount
 };
 
@@ -89,6 +95,12 @@ inline constexpr std::array<CounterInfo, kNumCounters> kCounterInfo{{
     {"stream_sof_rejects", "windows"},
     {"stream_decode_rejects", "windows"},
     {"stream_truncated_frames", "frames"},
+    {"fleet_rounds", "rounds"},
+    {"fleet_slots", "slots"},
+    {"fleet_packets_delivered", "packets"},
+    {"fleet_packets_lost", "packets"},
+    {"fleet_cross_collisions", "slots"},
+    {"fleet_tags_discovered", "tags"},
 }};
 
 /// Distribution metrics. Keep in sync with kHistogramInfo below and
@@ -99,6 +111,8 @@ enum class Histogram : std::uint32_t {
   kQueueWaitUs,        ///< sweep batch queue wait (submit -> start), microseconds
   kAssignedRateIndex,  ///< rate-table index assigned by the closed loop
   kSnrEstimateErrorDb, ///< |estimated - true| uplink SNR, dB
+  kFleetDiscoveryRound,///< 1-based round each tag was discovered in
+  kFleetShardTags,     ///< tags homed to each reader's shard
   kCount
 };
 
@@ -117,6 +131,8 @@ inline constexpr std::array<HistogramInfo, kNumHistograms> kHistogramInfo{{
     {"queue_wait_us", "us", false},
     {"assigned_rate_index", "index", true},
     {"snr_estimate_error_db", "dB", true},
+    {"fleet_discovery_round", "rounds", true},
+    {"fleet_shard_tags", "tags", true},
 }};
 
 /// One log2-bucketed distribution. Bucket 0 collects non-positive (and

@@ -60,6 +60,8 @@ class LinkBudget {
 
   [[nodiscard]] double slope_db_per_decade() const { return slope_; }
 
+  friend bool operator==(const LinkBudget&, const LinkBudget&) = default;
+
  private:
   double ref_m_;
   double snr_ref_db_;

@@ -59,6 +59,8 @@ struct LinkStats {
     total_bits += other.total_bits;
     return *this;
   }
+
+  friend bool operator==(const LinkStats&, const LinkStats&) = default;
 };
 
 /// Performs the one-time offline training for a (PHY, tag) pair so sweeps

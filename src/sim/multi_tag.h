@@ -59,4 +59,30 @@ struct ConcurrentTag {
   return sum;
 }
 
+/// Seed-slot layout for deterministic collision studies.
+///
+/// Stream `stream` of trial `trial` of a study seeded `base`. The
+/// convention mirrors the sweep engine's (packet, stream) discipline
+/// (src/runtime): slots are disjoint across trials and streams, so a
+/// parallel collision campaign can reconstruct any trial's randomness
+/// from indices alone. Streams 0..tags-1 are reserved for per-tag
+/// payload bits; stream == tags is the AWGN draw.
+[[nodiscard]] constexpr std::uint64_t collision_slot_seed(std::uint64_t base, std::uint64_t trial,
+                                                          std::uint64_t stream) {
+  return split_seed(base, trial, stream);
+}
+
+/// Pure-seeded overload: the AWGN is drawn from a fresh engine seeded
+/// `noise_seed`, so the returned waveform is a pure function of
+/// (params, tags, duration_s, snr_db, noise_seed). This is the form the
+/// fleet collision campaign batches across the thread pool -- see
+/// collision_slot_seed for the slot convention.
+[[nodiscard]] inline sig::IqWaveform superimpose_tags(const phy::PhyParams& params,
+                                                      const std::vector<ConcurrentTag>& tags,
+                                                      double duration_s, double snr_db,
+                                                      std::uint64_t noise_seed) {
+  Rng rng(noise_seed);
+  return superimpose_tags(params, tags, duration_s, snr_db, rng);
+}
+
 }  // namespace rt::sim
