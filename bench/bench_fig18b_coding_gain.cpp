@@ -1,134 +1,340 @@
-// Fig. 18b: goodput vs SNR with Reed-Solomon coding under stop-and-wait.
+// Fig. 18b: soft-vs-hard decision coding gain over the real link.
 //
-// Paper: a coded 32 Kbps link out-delivers both the raw 32 Kbps and raw
-// 16 Kbps links over a ~22 dB SNR span, paying only 1/64 of the maximum
-// throughput (RS(255,251)-class overhead); heavier coding widens the
-// working range at the cost of peak goodput. Expected shape: the coded
-// curves dominate in the mid-SNR region and sit (n-k)/n below raw at high
-// SNR.
+// Runs FEC-wrapped packets through the full TX -> channel -> RX pipeline
+// (sim::CodedLink) instead of modeling coding analytically: every frame is
+// whitened, encoded, interleaved, transmitted, DFE-equalized, and decoded
+// twice from the *same* received waveform -- once from the demapper's
+// exported LLRs (soft Viterbi / RS with GMD erasure retries) and once from
+// sliced bits (classic hard decision). The spread between the two curves
+// is the soft-decision coding gain the paper's Fig. 18b study motivates.
 //
-// Methodology (as in the paper): raw BER curves come from waveform
-// emulation; RS block-failure and stop-and-wait delivery are evaluated on
-// top of the measured curves.
+// Parts:
+//   1. CC(7,1/2) + RS(63,47) post-decode BER vs SNR at 16 Kbps, soft and
+//      hard, against the raw channel BER of the same waveforms.
+//   2. Tab. 4 ambient-mobility scenarios: soft decoding must not lose to
+//      hard under gain ripple either.
+//   3. Expected goodput per (rate, code) option from the *measured*
+//      curves (mac::GoodputModel::add_measurements). The raw 16 Kbps link
+//      carries a residual BER floor (pixel heterogeneity), so -- exactly
+//      as the paper's Fig. 18b finds -- the coded curves dominate raw
+//      across the span, and the winning code lightens (higher effective
+//      rate) as SNR improves.
+//
+// Gates (exit non-zero when violated):
+//   - soft CC info errors <= hard CC info errors at every SNR point, and
+//     strictly fewer summed over the low-SNR half (measurable gain)
+//   - RS GMD erasure decoding delivers no more frame failures than
+//     errors-only RS at any SNR
+//   - soft never loses to hard under any Tab. 4 mobility scenario
+//   - coded campaigns are bit-identical serial vs. N-thread
+//   - measured goodput: a coded option beats raw 16 Kbps at every point,
+//     and the winner's effective rate does not drop as SNR rises
+//
+// Knobs: RT_BENCH_PACKETS / RT_BENCH_PAYLOAD / RT_BENCH_THREADS.
+#include <algorithm>
 #include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "coding/code_descriptor.h"
 #include "mac/goodput.h"
+#include "runtime/thread_pool.h"
+#include "sim/coded_link.h"
+#include "sim/mobility.h"
+
+namespace {
+
+using rt::sim::CodedLink;
+using rt::sim::CodedLinkStats;
+
+/// Runs one coded campaign over packets 0..packets-1, partitioned across
+/// the pool. Workspaces are per-partition, stats merge associatively, so
+/// the result is bit-identical to CodedLink::run() at any thread count.
+CodedLinkStats run_parallel(const CodedLink& clink, int packets, std::size_t payload,
+                            CodedLink::DecodeMode mode, rt::runtime::ThreadPool& pool,
+                            rt::bench::BenchReport& report) {
+  const int threads = std::max(1, static_cast<int>(pool.size()));
+  const int chunk = (packets + threads - 1) / threads;
+  const std::size_t parts = static_cast<std::size_t>((packets + chunk - 1) / chunk);
+  std::vector<rt::sim::PacketWorkspace> wss(parts);  // fixed size: tasks hold pointers
+  std::vector<std::future<CodedLinkStats>> futs;
+  futs.reserve(parts);
+  for (std::size_t t = 0; t < parts; ++t) {
+    const int lo = static_cast<int>(t) * chunk;
+    const int hi = std::min(packets, lo + chunk);
+    auto* ws = &wss[t];
+    futs.push_back(pool.submit([&clink, ws, lo, hi, payload, mode] {
+      CodedLinkStats s;
+      for (int p = lo; p < hi; ++p)
+        s.add(clink.run_packet(static_cast<std::uint64_t>(p), payload, *ws, mode));
+      return s;
+    }));
+  }
+  CodedLinkStats total;
+  for (auto& f : futs) total.merge(f.get());
+  for (const auto& ws : wss) report.add_recorder(ws.obs);
+  return total;
+}
+
+/// Post-decode info BER with the same floor/empty conventions as the raw
+/// benches print.
+std::string info_ber_str(const CodedLinkStats& s) {
+  return rt::bench::ber_str_counts(s.info_bit_errors, s.info_bits);
+}
+
+/// SNR at which a measured (snr, ber) curve crosses `target` (log-linear
+/// interpolation over the first crossing, curves assumed to improve with
+/// SNR). nullopt when the curve never crosses.
+std::optional<double> snr_at_ber(const std::vector<std::pair<double, double>>& pts,
+                                 double target) {
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    const auto [s0, b0] = pts[i - 1];
+    const auto [s1, b1] = pts[i];
+    if (b0 < target || b1 > target || b0 == b1) continue;
+    const double l0 = std::log10(std::max(b0, 1e-12));
+    const double l1 = std::log10(std::max(b1, 1e-12));
+    const double lt = std::log10(target);
+    return s0 + (s1 - s0) * (l0 - lt) / (l0 - l1);
+  }
+  return std::nullopt;
+}
+
+}  // namespace
 
 int main() {
-  rt::bench::print_header("Fig. 18b -- goodput vs SNR with RS coding + stop-and-wait",
-                          "section 7.3, Figure 18b",
-                          "coded 32k dominates mid-SNR; costs only (n-k)/n at high SNR");
+  rt::bench::print_header(
+      "Fig. 18b -- soft-vs-hard decision coding gain (measured, end to end)",
+      "section 7.2.2, Fig. 18b + Tab. 4 mobility",
+      "soft decoding beats hard at low SNR; RS erasures never hurt; coded "
+      "options dominate raw goodput, lightening as SNR improves");
   rt::bench::BenchReport report("fig18b_coding_gain");
 
-  // Measure raw BER curves for the two rates through the real stack.
-  struct RateCurve {
-    const char* name;
-    rt::phy::PhyParams params;
-    std::vector<std::pair<double, double>> snr_ber;
+  const int packets = rt::bench::packets_per_point();
+  const std::size_t payload = rt::bench::payload_bytes();
+  const unsigned threads = rt::bench::bench_threads();
+  rt::runtime::ThreadPool pool(threads);
+
+  const auto params = rt::phy::PhyParams::rate_16kbps();
+  const auto tag = rt::bench::realistic_tag(params);
+  const auto offline = rt::sim::train_offline_model(params, tag);
+
+  rt::coding::CodedFrameConfig cc_cfg;
+  cc_cfg.code = rt::coding::CodeDescriptor::convolutional(7);
+  // RS(63,47) matches the CC frame's airtime class at this payload (one
+  // block, 16 parity bytes), so the two codes compare at similar overhead.
+  rt::coding::CodedFrameConfig rs_cfg;
+  rs_cfg.code = rt::coding::CodeDescriptor::reed_solomon(63, 47);
+
+  // Part 1: post-decode BER vs SNR around the 16 Kbps threshold (Tab. 3:
+  // 1% raw BER at 33 dB). Every row decodes the same waveforms four ways.
+  const std::vector<double> snrs = {29.0, 31.0, 32.0, 33.0, 35.0, 37.0};
+  struct Row {
+    double snr = 0.0;
+    CodedLinkStats cc_soft, cc_hard, rs_soft, rs_hard;
   };
-  std::vector<RateCurve> curves = {{"16kbps", rt::phy::PhyParams::rate_16kbps(), {}},
-                                   {"32kbps", rt::phy::PhyParams::rate_32kbps(), {}}};
-  const std::vector<double> measure_snrs = {25, 30, 35, 40, 45, 50, 55, 60};
+  std::vector<Row> rows;
+  std::printf("\n%-7s %-10s | %-10s %-10s | %-10s %-10s %-9s\n", "SNR", "raw BER", "CC hard",
+              "CC soft", "RS hard", "RS soft", "erasures");
+  CodedLinkStats mid_soft_parallel;  // determinism reference, filled at 33 dB
+  const rt::sim::LinkSimulator* mid_link = nullptr;
+  std::vector<std::unique_ptr<rt::sim::LinkSimulator>> links;  // outlive the CodedLinks
+  for (std::size_t i = 0; i < snrs.size(); ++i) {
+    rt::sim::ChannelConfig ch;
+    ch.snr_override_db = snrs[i];
+    ch.noise_seed = 500 + i;
+    rt::sim::SimOptions sopts;
+    sopts.shared_offline_model = offline;
+    sopts.export_soft_bits = true;
+    links.push_back(std::make_unique<rt::sim::LinkSimulator>(params, tag, ch, sopts));
+    const auto& link = *links.back();
+    const CodedLink cc(link, cc_cfg);
+    const CodedLink rs(link, rs_cfg);
 
-  std::printf("measuring raw BER curves (%zu points)...\n",
-              curves.size() * measure_snrs.size());
-  std::vector<rt::runtime::SweepPoint> points;
-  for (auto& c : curves) {
-    const auto tag = rt::bench::realistic_tag(c.params);
-    const auto offline = rt::sim::train_offline_model(c.params, tag);
-    for (const double snr : measure_snrs) {
-      rt::sim::ChannelConfig ch;
-      ch.snr_override_db = snr;
-      ch.noise_seed = static_cast<std::uint64_t>(snr * 3);
-      points.push_back(rt::bench::make_point(c.params, tag, ch, offline));
+    Row row;
+    row.snr = snrs[i];
+    row.cc_soft = run_parallel(cc, packets, payload, CodedLink::DecodeMode::kSoft, pool, report);
+    row.cc_hard = run_parallel(cc, packets, payload, CodedLink::DecodeMode::kHard, pool, report);
+    row.rs_soft = run_parallel(rs, packets, payload, CodedLink::DecodeMode::kSoft, pool, report);
+    row.rs_hard = run_parallel(rs, packets, payload, CodedLink::DecodeMode::kHard, pool, report);
+    if (snrs[i] == 33.0) {
+      mid_soft_parallel = row.cc_soft;
+      mid_link = &link;
+    }
+
+    std::printf("%-7.1f %-10s | %-10s %-10s | %-10s %-10s %-9zu\n", row.snr,
+                rt::bench::ber_str_counts(row.cc_soft.raw_bit_errors, row.cc_soft.raw_bits).c_str(),
+                info_ber_str(row.cc_hard).c_str(), info_ber_str(row.cc_soft).c_str(),
+                info_ber_str(row.rs_hard).c_str(), info_ber_str(row.rs_soft).c_str(),
+                row.rs_soft.erasures_used);
+    report.add_value("raw_ber", row.snr, row.cc_soft.raw_ber());
+    report.add_value("cc_hard_ber", row.snr, row.cc_hard.ber());
+    report.add_value("cc_soft_ber", row.snr, row.cc_soft.ber());
+    report.add_value("rs_hard_ber", row.snr, row.rs_hard.ber());
+    report.add_value("rs_soft_ber", row.snr, row.rs_soft.ber());
+    report.add_value("cc_soft_fer", row.snr, row.cc_soft.frame_error_rate());
+    report.add_value("cc_hard_fer", row.snr, row.cc_hard.frame_error_rate());
+    report.add_value("rs_soft_erasures", row.snr, static_cast<double>(row.rs_soft.erasures_used));
+    rows.push_back(row);
+  }
+
+  int failures = 0;
+
+  // Gate: soft CC never loses to hard CC, and wins strictly where the
+  // channel is actually errored (the low-SNR half of the sweep).
+  std::size_t low_soft = 0, low_hard = 0;
+  for (const auto& row : rows) {
+    if (row.cc_soft.info_bit_errors > row.cc_hard.info_bit_errors) {
+      std::printf("FAIL: soft CC worse than hard at %.1f dB (%zu > %zu errors)\n", row.snr,
+                  row.cc_soft.info_bit_errors, row.cc_hard.info_bit_errors);
+      ++failures;
+    }
+    if (row.snr <= snrs[snrs.size() / 2]) {
+      low_soft += row.cc_soft.info_bit_errors;
+      low_hard += row.cc_hard.info_bit_errors;
     }
   }
-  const auto sweep = rt::bench::run_points(points);
-  report.add_sweep(sweep);
-  for (std::size_t ci = 0; ci < curves.size(); ++ci) {
-    for (std::size_t si = 0; si < measure_snrs.size(); ++si) {
-      const auto& stats = sweep.stats[ci * measure_snrs.size() + si];
-      // An error-free measurement is recorded as (effectively) zero: a
-      // conservative 1/(2N) floor would fabricate ~20% phantom packet loss
-      // on 1024-bit frames and distort every goodput ratio.
-      const double ber = stats.bit_errors == 0 ? 1e-9 : stats.ber();
-      curves[ci].snr_ber.push_back({measure_snrs[si], ber});
-      report.add_point(std::string(curves[ci].name) + " raw", measure_snrs[si], stats);
+  if (low_soft >= low_hard) {
+    std::printf("FAIL: no measurable soft-decision gain at low SNR (soft %zu vs hard %zu)\n",
+                low_soft, low_hard);
+    ++failures;
+  } else {
+    std::printf("\nsoft-decision gain at low SNR: %zu -> %zu info errors (%.1fx)\n", low_hard,
+                low_soft, static_cast<double>(low_hard) / std::max<std::size_t>(low_soft, 1));
+  }
+  report.add_scalar("low_snr_soft_errors", static_cast<double>(low_soft));
+  report.add_scalar("low_snr_hard_errors", static_cast<double>(low_hard));
+
+  // Gate: GMD erasure retries only ever rescue frames -- errors-only RS
+  // must not beat the LLR-guided decoder anywhere.
+  for (const auto& row : rows) {
+    if (row.rs_soft.crc_failures > row.rs_hard.crc_failures) {
+      std::printf("FAIL: RS erasure decoding lost frames at %.1f dB (%d > %d)\n", row.snr,
+                  row.rs_soft.crc_failures, row.rs_hard.crc_failures);
+      ++failures;
+    }
+  }
+  std::size_t total_erasures = 0;
+  for (const auto& row : rows) total_erasures += row.rs_soft.erasures_used;
+  report.add_scalar("rs_erasures_used", static_cast<double>(total_erasures));
+
+  // Coding gain at the paper's 1% reliability bar, when both curves cross.
+  std::vector<std::pair<double, double>> soft_curve, hard_curve;
+  for (const auto& row : rows) {
+    soft_curve.emplace_back(row.snr, row.cc_soft.ber());
+    hard_curve.emplace_back(row.snr, row.cc_hard.ber());
+  }
+  const auto soft_1pc = snr_at_ber(soft_curve, 0.01);
+  const auto hard_1pc = snr_at_ber(hard_curve, 0.01);
+  if (soft_1pc && hard_1pc) {
+    std::printf("coding gain at 1%% info BER: %.1f dB (hard %.1f dB -> soft %.1f dB)\n",
+                *hard_1pc - *soft_1pc, *hard_1pc, *soft_1pc);
+    report.add_scalar("soft_gain_db_at_1pc", *hard_1pc - *soft_1pc);
+  }
+
+  // Gate: serial == N-thread (the coded path keeps the purity contract).
+  if (mid_link != nullptr) {
+    const CodedLink cc(*mid_link, cc_cfg);
+    const auto serial = cc.run(packets, payload, CodedLink::DecodeMode::kSoft);
+    if (!(serial == mid_soft_parallel)) {
+      std::printf("FAIL: coded campaign serial != %u-thread\n", threads);
+      ++failures;
+    } else {
+      std::printf("determinism: serial == %u-thread coded campaign (bit-identical)\n", threads);
     }
   }
 
-  // Goodput table over the coding options.
+  // Part 2: Tab. 4 ambient mobility at a margin-free operating point. Gain
+  // ripple from passing humans must not erase the soft-decision advantage.
+  std::printf("\n%-34s %-10s %-10s %-10s\n", "mobility case", "CC hard", "CC soft", "raw BER");
+  const std::vector<rt::sim::MobilityScenario> cases = {
+      rt::sim::MobilityScenario::none(),
+      rt::sim::MobilityScenario::work_5cm_off_los(),
+      rt::sim::MobilityScenario::three_people_around_los(),
+  };
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    rt::sim::ChannelConfig ch;
+    ch.snr_override_db = 31.0;
+    ch.mobility = cases[i];
+    ch.noise_seed = 700 + i;
+    rt::sim::SimOptions sopts;
+    sopts.shared_offline_model = offline;
+    sopts.export_soft_bits = true;
+    links.push_back(std::make_unique<rt::sim::LinkSimulator>(params, tag, ch, sopts));
+    const CodedLink cc(*links.back(), cc_cfg);
+    const auto soft =
+        run_parallel(cc, packets, payload, CodedLink::DecodeMode::kSoft, pool, report);
+    const auto hard =
+        run_parallel(cc, packets, payload, CodedLink::DecodeMode::kHard, pool, report);
+    std::printf("%-34s %-10s %-10s %-10s\n", cases[i].name.c_str(), info_ber_str(hard).c_str(),
+                info_ber_str(soft).c_str(),
+                rt::bench::ber_str_counts(soft.raw_bit_errors, soft.raw_bits).c_str());
+    report.add_value("mobility_cc_soft_ber", static_cast<double>(i), soft.ber());
+    report.add_value("mobility_cc_hard_ber", static_cast<double>(i), hard.ber());
+    if (soft.info_bit_errors > hard.info_bit_errors) {
+      std::printf("FAIL: soft lost to hard under mobility case '%s'\n", cases[i].name.c_str());
+      ++failures;
+    }
+  }
+
+  // Part 3: expected goodput per (rate, code) option, driven by the
+  // measured curves above -- the database the rate-adaptive MAC profiles.
   rt::mac::GoodputModel model;
-  const auto mk = [&](const char* name, const rt::phy::PhyParams& p, double rate, double th,
-                      std::size_t n, std::size_t k) {
-    return rt::mac::RateOption{name, p, rate, th, n, k};
+  std::vector<std::pair<double, double>> raw_curve, rs_curve;
+  for (const auto& row : rows) {
+    raw_curve.emplace_back(row.snr, row.cc_soft.raw_ber());
+    rs_curve.emplace_back(row.snr, row.rs_soft.ber());
+  }
+  const std::vector<rt::mac::RateOption> options = {
+      {"16kbps", params, 16000.0, 33.0, rt::coding::CodeDescriptor::none()},
+      {"16kbps+CC(7,1/2)", params, 16000.0, 28.0, rt::coding::CodeDescriptor::convolutional(7)},
+      {"16kbps+RS(63,47)", params, 16000.0, 30.5,
+       rt::coding::CodeDescriptor::reed_solomon(63, 47)},
   };
-  std::vector<rt::mac::RateOption> options = {
-      mk("16kbps", curves[0].params, 16000.0, 33.0, 0, 0),
-      mk("32kbps", curves[1].params, 32000.0, 55.0, 0, 0),
-      mk("32kbps", curves[1].params, 32000.0, 55.0, 255, 251),
-      mk("32kbps", curves[1].params, 32000.0, 55.0, 255, 223),
-      mk("32kbps", curves[1].params, 32000.0, 55.0, 255, 127),
-  };
-  model.add_measurements("16kbps", curves[0].snr_ber);
-  model.add_measurements("32kbps", curves[1].snr_ber);
+  model.add_measurements(options[0].name, raw_curve);
+  model.add_measurements(options[1].name, soft_curve);
+  model.add_measurements(options[2].name, rs_curve);
 
-  const std::vector<double> snrs = {30, 34, 38, 42, 46, 50, 54, 58, 62};
-  const std::size_t payload = 128;
-  std::printf("\ngoodput (Kbps), 128 B frames, stop-and-wait:\n%-22s", "SNR (dB)");
-  for (const double s : snrs) std::printf("%8.0f", s);
-  std::printf("\n");
-  std::vector<std::vector<double>> g(options.size());
-  for (std::size_t oi = 0; oi < options.size(); ++oi) {
-    const auto& o = options[oi];
-    char label[64];
-    std::snprintf(label, sizeof(label), "%s%s", o.name.c_str(),
-                  o.rs_n ? ("+RS(" + std::to_string(o.rs_n) + "," + std::to_string(o.rs_k) + ")")
-                               .c_str()
-                         : " raw");
-    std::printf("%-22s", label);
-    for (const double s : snrs) {
-      const double gp = model.goodput_bps(o, s, payload);
-      g[oi].push_back(gp);
-      report.add_value(std::string("goodput_kbps ") + label, s, gp / 1000.0);
-      std::printf("%8.1f", gp / 1000.0);
+  std::printf("\n%-7s", "SNR");
+  for (const auto& o : options) std::printf(" %17s", o.name.c_str());
+  std::printf("  best\n");
+  std::size_t best_low = 0, best_high = 0;
+  for (const auto& row : rows) {
+    std::size_t best = 0;
+    double best_g = -1.0;
+    std::printf("%-7.1f", row.snr);
+    for (std::size_t oi = 0; oi < options.size(); ++oi) {
+      const double g = model.goodput_bps(options[oi], row.snr, payload);
+      std::printf(" %14.0fbps", g);
+      if (g > best_g) {
+        best_g = g;
+        best = oi;
+      }
+      report.add_value("goodput_" + options[oi].name, row.snr, g);
     }
-    std::printf("\n");
+    const std::string label = options[best].code.label();
+    std::printf("  %s [%s]\n", options[best].name.c_str(),
+                label.empty() ? "uncoded" : label.c_str());
+    report.add_value("goodput_best_option", row.snr, static_cast<double>(best));
+    if (best == 0) {
+      std::printf("FAIL: raw 16kbps wins measured goodput at %.1f dB (coded should dominate)\n",
+                  row.snr);
+      ++failures;
+    }
+    if (row.snr == snrs.front()) best_low = best;
+    if (row.snr == snrs.back()) best_high = best;
+  }
+  if (options[best_high].effective_rate_bps() < options[best_low].effective_rate_bps()) {
+    std::printf("FAIL: winning code got heavier as SNR rose (%s at %.1f dB -> %s at %.1f dB)\n",
+                options[best_low].name.c_str(), snrs.front(), options[best_high].name.c_str(),
+                snrs.back());
+    ++failures;
   }
 
-  // Shape checks.
-  // 1. A coded 32k curve beats BOTH raw 32k and raw 16k somewhere.
-  int coded_win_span = 0;
-  for (std::size_t si = 0; si < snrs.size(); ++si) {
-    const double best_coded = std::max({g[2][si], g[3][si], g[4][si]});
-    if (best_coded > g[1][si] && best_coded > g[0][si]) ++coded_win_span;
-  }
-  // 2. High-SNR cost of the light code ~ (n-k)/n.
-  const double high_ratio = g[2].back() / g[1].back();
-  // 3. Heavier coding extends range: RS(255,127) delivers at SNRs where
-  //    the light code does not.
-  int heavy_only = 0;
-  for (std::size_t si = 0; si < snrs.size(); ++si)
-    if (g[4][si] > 0.5 * options[4].effective_rate_bps() &&
-        g[2][si] < 0.5 * options[2].effective_rate_bps())
-      ++heavy_only;
-
-  std::printf("\ncoded-32k wins over both raw curves at %d/%zu SNR points (paper: a ~22 dB span)\n",
-              coded_win_span, snrs.size());
-  std::printf("high-SNR cost of RS(255,251): %.3fx of raw (paper: ~1/64 loss => 0.984)\n",
-              high_ratio);
-  std::printf("heavier RS(255,127) alone healthy at %d low-SNR points (wider working range)\n",
-              heavy_only);
-  report.add_scalar("coded_win_span", coded_win_span);
-  report.add_scalar("high_snr_ratio_rs251", high_ratio);
-  report.add_scalar("heavy_only_points", heavy_only);
   report.write();
-  // The ratio approaches (n-k)/n = 0.984 as both links saturate; a small
-  // residual error floor at the bench's packet budget can leave the coded
-  // link slightly ahead, so accept a band around the ideal value.
-  const bool ok = coded_win_span >= 2 && high_ratio > 0.9 && high_ratio <= 1.1 && heavy_only >= 1;
-  std::printf("shape check: %s\n", ok ? "yes" : "NO");
-  return ok ? 0 : 1;
+  if (failures > 0) std::printf("\n%d gate(s) FAILED\n", failures);
+  return failures == 0 ? 0 : 1;
 }

@@ -22,30 +22,46 @@ class BlockInterleaver {
 
   [[nodiscard]] std::size_t block_size() const { return rows_ * cols_; }
 
-  /// Writes row-wise, reads column-wise. Input must be a whole number of
-  /// blocks.
+  /// Writes row-wise, reads column-wise into a caller-owned buffer
+  /// (resized to in.size(); a warm buffer never reallocates). Input must
+  /// be a whole number of blocks and must not alias `out`.
   template <typename T>
-  [[nodiscard]] std::vector<T> interleave(std::span<const T> in) const {
+  void interleave_into(std::span<const T> in, std::vector<T>& out) const {
     RT_ENSURE(in.size() % block_size() == 0, "input must be a whole number of blocks");
-    std::vector<T> out(in.size());
+    out.resize(in.size());
     for (std::size_t b = 0; b < in.size(); b += block_size()) {
       std::size_t k = 0;
       for (std::size_t c = 0; c < cols_; ++c)
         for (std::size_t r = 0; r < rows_; ++r) out[b + k++] = in[b + r * cols_ + c];
     }
+  }
+
+  /// Inverse permutation of interleave_into(); same buffer contract.
+  template <typename T>
+  void deinterleave_into(std::span<const T> in, std::vector<T>& out) const {
+    RT_ENSURE(in.size() % block_size() == 0, "input must be a whole number of blocks");
+    out.resize(in.size());
+    for (std::size_t b = 0; b < in.size(); b += block_size()) {
+      std::size_t k = 0;
+      for (std::size_t c = 0; c < cols_; ++c)
+        for (std::size_t r = 0; r < rows_; ++r) out[b + r * cols_ + c] = in[b + k++];
+    }
+  }
+
+  /// Writes row-wise, reads column-wise. Input must be a whole number of
+  /// blocks.
+  template <typename T>
+  [[nodiscard]] std::vector<T> interleave(std::span<const T> in) const {
+    std::vector<T> out;
+    interleave_into(in, out);
     return out;
   }
 
   /// Inverse permutation.
   template <typename T>
   [[nodiscard]] std::vector<T> deinterleave(std::span<const T> in) const {
-    RT_ENSURE(in.size() % block_size() == 0, "input must be a whole number of blocks");
-    std::vector<T> out(in.size());
-    for (std::size_t b = 0; b < in.size(); b += block_size()) {
-      std::size_t k = 0;
-      for (std::size_t c = 0; c < cols_; ++c)
-        for (std::size_t r = 0; r < rows_; ++r) out[b + r * cols_ + c] = in[b + k++];
-    }
+    std::vector<T> out;
+    deinterleave_into(in, out);
     return out;
   }
 

@@ -54,90 +54,134 @@ std::vector<std::uint8_t> ReedSolomon::encode_block(std::span<const std::uint8_t
   return out;
 }
 
+void ReedSolomon::encode_block_into(std::span<const std::uint8_t> data, Scratch& scratch,
+                                    std::span<std::uint8_t> out) const {
+  RT_ENSURE(data.size() == k_, "encode_block_into expects exactly k data bytes");
+  RT_ENSURE(out.size() == n_, "out must have exactly n bytes");
+  const std::size_t parity = n_ - k_;
+  // Systematic encoding: remainder of data(x) * x^(n-k) mod g(x).
+  scratch.rem.assign(parity, 0);
+  auto& rem = scratch.rem;
+  for (std::size_t i = 0; i < k_; ++i) {
+    const std::uint8_t feedback = narrow_cast<std::uint8_t>(data[i] ^ rem[parity - 1]);
+    for (std::size_t j = parity; j-- > 1;)
+      rem[j] = narrow_cast<std::uint8_t>(rem[j - 1] ^ gf().mul(feedback, generator_[j]));
+    rem[0] = gf().mul(feedback, generator_[0]);
+  }
+  std::copy(data.begin(), data.end(), out.begin());
+  // Parity appended high-degree-first to keep the codeword poly consistent.
+  for (std::size_t j = parity; j-- > 0;) out[k_ + (parity - 1 - j)] = rem[j];
+}
+
 std::optional<std::vector<std::uint8_t>> ReedSolomon::decode_block(
     std::span<const std::uint8_t> codeword) const {
-  RT_ENSURE(codeword.size() == n_, "decode_block expects exactly n bytes");
-  const std::size_t parity = n_ - k_;
+  Scratch scratch;
+  std::vector<std::uint8_t> data(k_, 0);
+  if (!decode_block_into(codeword, {}, scratch, data)) return std::nullopt;
+  return data;
+}
 
-  // Codeword polynomial: received[0] is the highest-degree coefficient.
-  // Syndromes S_i = r(alpha^i), i = 0..parity-1.
-  std::vector<std::uint8_t> synd(parity, 0);
+bool ReedSolomon::decode_block_into(std::span<const std::uint8_t> codeword,
+                                    std::span<const std::size_t> erasures, Scratch& ws,
+                                    std::span<std::uint8_t> data_out) const {
+  RT_ENSURE(codeword.size() == n_, "decode_block_into expects exactly n bytes");
+  RT_ENSURE(data_out.size() == k_, "data_out must have exactly k bytes");
+  const std::size_t parity = n_ - k_;
+  const std::size_t f = erasures.size();
+  // The received systematic prefix is the fallback output on failure.
+  std::copy_n(codeword.begin(), static_cast<std::ptrdiff_t>(k_), data_out.begin());
+  if (f > parity) return false;
+
+  // Syndromes S_i = r(alpha^i); codeword[0] is the highest-degree coeff.
+  ws.synd.resize(parity);
   bool all_zero = true;
   for (std::size_t i = 0; i < parity; ++i) {
     const std::uint8_t x = gf().pow_alpha(narrow_cast<int>(i));
     std::uint8_t y = 0;
-    for (std::size_t j = 0; j < n_; ++j) y = narrow_cast<std::uint8_t>(gf().mul(y, x) ^ codeword[j]);
-    synd[i] = y;
+    for (std::size_t j = 0; j < n_; ++j)
+      y = narrow_cast<std::uint8_t>(gf().mul(y, x) ^ codeword[j]);
+    ws.synd[i] = y;
     all_zero = all_zero && (y == 0);
   }
-  if (all_zero) return std::vector<std::uint8_t>(codeword.begin(), codeword.begin() + k_);
+  if (all_zero) return true;
 
-  // Berlekamp-Massey: find error locator sigma(x), low-degree-first.
-  std::vector<std::uint8_t> sigma = {1};
-  std::vector<std::uint8_t> prev = {1};
-  std::uint8_t b = 1;
-  std::size_t l = 0;
-  std::size_t m = 1;
-  for (std::size_t step = 0; step < parity; ++step) {
-    std::uint8_t delta = synd[step];
-    for (std::size_t i = 1; i <= l && i < sigma.size(); ++i)
-      delta = narrow_cast<std::uint8_t>(delta ^ gf().mul(sigma[i], synd[step - i]));
-    if (delta == 0) {
-      ++m;
-    } else if (2 * l <= step) {
-      const auto tmp = sigma;
-      const std::uint8_t scale = gf().div(delta, b);
-      if (sigma.size() < prev.size() + m) sigma.resize(prev.size() + m, 0);
-      for (std::size_t i = 0; i < prev.size(); ++i)
-        sigma[i + m] = narrow_cast<std::uint8_t>(sigma[i + m] ^ gf().mul(scale, prev[i]));
-      l = step + 1 - l;
-      prev = tmp;
-      b = delta;
-      m = 1;
-    } else {
-      const std::uint8_t scale = gf().div(delta, b);
-      if (sigma.size() < prev.size() + m) sigma.resize(prev.size() + m, 0);
-      for (std::size_t i = 0; i < prev.size(); ++i)
-        sigma[i + m] = narrow_cast<std::uint8_t>(sigma[i + m] ^ gf().mul(scale, prev[i]));
-      ++m;
-    }
+  // Combined locator seeded with the erasure locator
+  // Gamma(x) = prod_j (1 + X_j x), X_j = alpha^(n-1-j) for position j.
+  ws.lambda.assign(parity + 1, 0);
+  ws.lambda[0] = 1;
+  for (std::size_t e = 0; e < f; ++e) {
+    RT_ENSURE(erasures[e] < n_, "erasure position out of range");
+    const std::uint8_t x = gf().pow_alpha(narrow_cast<int>(n_ - 1 - erasures[e]));
+    for (std::size_t i = e + 1; i-- > 0;)
+      ws.lambda[i + 1] = narrow_cast<std::uint8_t>(ws.lambda[i + 1] ^ gf().mul(ws.lambda[i], x));
   }
-  while (!sigma.empty() && sigma.back() == 0) sigma.pop_back();
-  const std::size_t num_errors = sigma.size() - 1;
-  if (num_errors > correctable_errors()) return std::nullopt;
+  ws.b_poly.assign(ws.lambda.begin(), ws.lambda.end());
+  ws.t_poly.resize(parity + 1);
 
-  // Chien search: roots of sigma give error positions. With codeword[j] the
-  // coefficient of x^(n-1-j), position j errs iff sigma(alpha^-(n-1-j)) = 0.
-  std::vector<std::size_t> error_pos;
+  // Berlekamp-Massey over the remaining syndromes, erasure-initialized
+  // (Karn-style indices: r counts processed syndromes 1-based, el tracks
+  // the register length, starting from the erasure count).
+  std::size_t el = f;
+  const auto shift_b = [&] {
+    for (std::size_t i = parity; i-- > 0;) ws.b_poly[i + 1] = ws.b_poly[i];
+    ws.b_poly[0] = 0;
+  };
+  for (std::size_t r = f + 1; r <= parity; ++r) {
+    std::uint8_t discr = 0;
+    for (std::size_t i = 0; i < r; ++i)
+      discr = narrow_cast<std::uint8_t>(discr ^ gf().mul(ws.lambda[i], ws.synd[r - 1 - i]));
+    if (discr == 0) {
+      shift_b();
+      continue;
+    }
+    ws.t_poly[0] = ws.lambda[0];
+    for (std::size_t i = 0; i < parity; ++i)
+      ws.t_poly[i + 1] =
+          narrow_cast<std::uint8_t>(ws.lambda[i + 1] ^ gf().mul(discr, ws.b_poly[i]));
+    if (2 * el <= r + f - 1) {
+      el = r + f - el;
+      for (std::size_t i = 0; i <= parity; ++i) ws.b_poly[i] = gf().div(ws.lambda[i], discr);
+    } else {
+      shift_b();
+    }
+    std::copy(ws.t_poly.begin(), ws.t_poly.end(), ws.lambda.begin());
+  }
+
+  std::size_t deg = parity;
+  while (deg > 0 && ws.lambda[deg] == 0) --deg;
+  // e = deg - f extra errors must satisfy 2e + f <= parity.
+  if (deg < f || 2 * deg > parity + f) return false;
+
+  // Chien search over every position; the root count must match the
+  // locator degree or the locator is bogus (too many errors).
+  ws.error_pos.clear();
+  ws.error_pos.reserve(parity);
+  const std::span<const std::uint8_t> lambda_poly(ws.lambda.data(), deg + 1);
   for (std::size_t j = 0; j < n_; ++j) {
     const int power = -narrow_cast<int>(n_ - 1 - j);
-    if (poly_eval(sigma, gf().pow_alpha(power)) == 0) error_pos.push_back(j);
+    if (poly_eval(lambda_poly, gf().pow_alpha(power)) == 0) ws.error_pos.push_back(j);
   }
-  if (error_pos.size() != num_errors) return std::nullopt;
+  if (ws.error_pos.size() != deg) return false;
 
-  // Forney: error evaluator omega(x) = [S(x) sigma(x)] mod x^parity.
-  std::vector<std::uint8_t> omega(parity, 0);
+  // Forney: omega(x) = [S(x) lambda(x)] mod x^parity, then
+  // e_j = Xj * omega(Xj^-1) / lambda'(Xj^-1) (first root alpha^0).
+  ws.omega.assign(parity, 0);
   for (std::size_t i = 0; i < parity; ++i) {
-    for (std::size_t j = 0; j < sigma.size() && j <= i; ++j)
-      omega[i] = narrow_cast<std::uint8_t>(omega[i] ^ gf().mul(synd[i - j], sigma[j]));
+    for (std::size_t j = 0; j <= deg && j <= i; ++j)
+      ws.omega[i] = narrow_cast<std::uint8_t>(ws.omega[i] ^ gf().mul(ws.synd[i - j], ws.lambda[j]));
   }
-  // Formal derivative of sigma.
-  std::vector<std::uint8_t> sigma_deriv;
-  for (std::size_t i = 1; i < sigma.size(); i += 2) {
-    sigma_deriv.resize(i, 0);
-    sigma_deriv[i - 1] = sigma[i];
-  }
-  // Correct: e_j = omega(Xj^-1) / sigma'(Xj^-1) * Xj^(1-b0), with b0 = 0
-  // (first consecutive root alpha^0) => e_j = Xj * omega(Xj^-1)/sigma'(Xj^-1).
-  std::vector<std::uint8_t> corrected(codeword.begin(), codeword.end());
-  for (const auto j : error_pos) {
+  ws.deriv.assign(deg == 0 ? 1 : deg, 0);
+  for (std::size_t i = 1; i <= deg; i += 2) ws.deriv[i - 1] = ws.lambda[i];
+
+  ws.corrected.assign(codeword.begin(), codeword.end());
+  for (const auto j : ws.error_pos) {
     const int loc_power = narrow_cast<int>(n_ - 1 - j);
     const std::uint8_t x_inv = gf().pow_alpha(-loc_power);
-    const std::uint8_t num = poly_eval(omega, x_inv);
-    const std::uint8_t den = poly_eval(sigma_deriv, x_inv);
-    if (den == 0) return std::nullopt;
+    const std::uint8_t num = poly_eval(ws.omega, x_inv);
+    const std::uint8_t den = poly_eval(ws.deriv, x_inv);
+    if (den == 0) return false;
     const std::uint8_t magnitude = gf().mul(gf().pow_alpha(loc_power), gf().div(num, den));
-    corrected[j] = narrow_cast<std::uint8_t>(corrected[j] ^ magnitude);
+    ws.corrected[j] = narrow_cast<std::uint8_t>(ws.corrected[j] ^ magnitude);
   }
 
   // Verify by re-computing syndromes.
@@ -145,10 +189,11 @@ std::optional<std::vector<std::uint8_t>> ReedSolomon::decode_block(
     const std::uint8_t x = gf().pow_alpha(narrow_cast<int>(i));
     std::uint8_t y = 0;
     for (std::size_t j = 0; j < n_; ++j)
-      y = narrow_cast<std::uint8_t>(gf().mul(y, x) ^ corrected[j]);
-    if (y != 0) return std::nullopt;
+      y = narrow_cast<std::uint8_t>(gf().mul(y, x) ^ ws.corrected[j]);
+    if (y != 0) return false;
   }
-  return std::vector<std::uint8_t>(corrected.begin(), corrected.begin() + k_);
+  std::copy_n(ws.corrected.begin(), static_cast<std::ptrdiff_t>(k_), data_out.begin());
+  return true;
 }
 
 std::vector<std::uint8_t> ReedSolomon::encode(std::span<const std::uint8_t> data) const {

@@ -17,6 +17,21 @@ namespace rt::coding {
 
 class ReedSolomon {
  public:
+  /// Reusable scratch for decode_block_into(): every polynomial buffer of
+  /// the Berlekamp-Massey / Chien / Forney pipeline, pooled so the coded
+  /// packet path decodes without per-call heap traffic.
+  struct Scratch {
+    std::vector<std::uint8_t> synd;
+    std::vector<std::uint8_t> lambda;
+    std::vector<std::uint8_t> b_poly;
+    std::vector<std::uint8_t> t_poly;
+    std::vector<std::uint8_t> omega;
+    std::vector<std::uint8_t> deriv;
+    std::vector<std::uint8_t> corrected;
+    std::vector<std::size_t> error_pos;
+    std::vector<std::uint8_t> rem;  ///< encode_block_into() remainder
+  };
+
   /// n = total symbols per codeword (<= 255), k = data symbols; corrects up
   /// to (n - k) / 2 symbol errors.
   ReedSolomon(std::size_t n, std::size_t k);
@@ -33,10 +48,26 @@ class ReedSolomon {
   /// (data first, parity appended).
   [[nodiscard]] std::vector<std::uint8_t> encode_block(std::span<const std::uint8_t> data) const;
 
+  /// encode_block() into a caller-owned n-byte buffer (no allocations once
+  /// `scratch` is warm); `out` must not alias `data`.
+  void encode_block_into(std::span<const std::uint8_t> data, Scratch& scratch,
+                         std::span<std::uint8_t> out) const;
+
   /// Decodes an n-byte (possibly corrupted) codeword. Returns the k data
   /// bytes, or nullopt if more than t errors were detected (decode failure).
   [[nodiscard]] std::optional<std::vector<std::uint8_t>> decode_block(
       std::span<const std::uint8_t> codeword) const;
+
+  /// Errors-and-erasures decode of one n-byte codeword into a caller-owned
+  /// buffer. `erasures` lists distinct 0-based codeword positions flagged
+  /// unreliable by the demapper (LLR-driven erasure marking); the decoder
+  /// corrects e errors plus f erasures whenever 2e + f <= n - k, so each
+  /// trusted erasure doubles its correction value. Writes the k data bytes
+  /// into `data_out` (which must have size k); returns false on decode
+  /// failure, leaving `data_out` holding the received systematic prefix.
+  [[nodiscard]] bool decode_block_into(std::span<const std::uint8_t> codeword,
+                                       std::span<const std::size_t> erasures, Scratch& scratch,
+                                       std::span<std::uint8_t> data_out) const;
 
   /// Encodes an arbitrary-length message by splitting into k-byte blocks
   /// (zero-padding the last block; original length must be conveyed by the

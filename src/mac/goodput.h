@@ -72,21 +72,23 @@ class GoodputModel {
     return pts.back().second;
   }
 
-  /// Probability one RS block decodes (uncoded: all bits correct).
+  /// Probability one RS block decodes (non-RS options: handled at the
+  /// packet level, so 1.0 here).
   [[nodiscard]] double block_success(const RateOption& option, double snr_db) const {
+    if (option.code.kind != coding::CodeDescriptor::Kind::kReedSolomon) return 1.0;
     const double p_bit = ber(option, snr_db);
-    if (option.rs_n == 0) return 1.0;  // handled at packet level
+    const std::size_t n = option.code.n;
     const double p_sym = 1.0 - std::pow(1.0 - p_bit, 8.0);
-    const std::size_t t = (option.rs_n - option.rs_k) / 2;
+    const std::size_t t = (n - option.code.k) / 2;
     // Binomial tail: P(errors <= t) over n symbols.
     double p_ok = 0.0;
     double log_comb = 0.0;  // log C(n, e) built incrementally
     for (std::size_t e = 0; e <= t; ++e) {
       if (e > 0)
-        log_comb += std::log(static_cast<double>(option.rs_n - e + 1)) -
-                    std::log(static_cast<double>(e));
+        log_comb +=
+            std::log(static_cast<double>(n - e + 1)) - std::log(static_cast<double>(e));
       const double log_p = log_comb + static_cast<double>(e) * std::log(std::max(p_sym, 1e-300)) +
-                           static_cast<double>(option.rs_n - e) * std::log1p(-p_sym);
+                           static_cast<double>(n - e) * std::log1p(-p_sym);
       p_ok += std::exp(log_p);
     }
     return std::min(1.0, p_ok);
@@ -95,12 +97,23 @@ class GoodputModel {
   /// Packet delivery probability for `payload_bytes` of data.
   [[nodiscard]] double packet_success(const RateOption& option, double snr_db,
                                       std::size_t payload_bytes) const {
-    if (option.rs_n == 0) {
-      const double p_bit = ber(option, snr_db);
-      return std::pow(1.0 - p_bit, static_cast<double>(payload_bytes) * 8.0);
+    switch (option.code.kind) {
+      case coding::CodeDescriptor::Kind::kNone:
+      case coding::CodeDescriptor::Kind::kConvolutional: {
+        // The option's threshold is calibrated on the *post-decode* BER
+        // (soft-decision coding gain included for CC options), so the
+        // waterfall/measured curve already gives the residual per-bit
+        // error probability of delivered data.
+        const double p_bit = ber(option, snr_db);
+        return std::pow(1.0 - p_bit, static_cast<double>(payload_bytes) * 8.0);
+      }
+      case coding::CodeDescriptor::Kind::kReedSolomon: {
+        const std::size_t k = option.code.k;
+        const std::size_t blocks = (payload_bytes + k - 1) / k;
+        return std::pow(block_success(option, snr_db), static_cast<double>(blocks));
+      }
     }
-    const std::size_t blocks = (payload_bytes + option.rs_k - 1) / option.rs_k;
-    return std::pow(block_success(option, snr_db), static_cast<double>(blocks));
+    return 0.0;
   }
 
   /// Expected goodput under stop-and-wait: effective rate x delivery

@@ -63,6 +63,11 @@ enum class Counter : std::uint32_t {
   kFleetPacketsLost,      ///< fleet uplink packets lost to channel errors
   kFleetCrossCollisions,  ///< fleet slots corrupted by a neighboring cell
   kFleetTagsDiscovered,   ///< tags resolved by fleet shard discovery
+  kCodedFrames,           ///< coded frames through the FEC pipeline
+  kCodedCrcFailures,      ///< coded frames whose CRC residue was non-zero
+  kCodedSoftDecodes,      ///< coded frames decoded from LLRs (soft path)
+  kCodedHardDecodes,      ///< coded frames decoded from sliced bits
+  kRsErasuresMarked,      ///< RS byte erasures used by successful GMD retries
   kCount
 };
 
@@ -101,6 +106,11 @@ inline constexpr std::array<CounterInfo, kNumCounters> kCounterInfo{{
     {"fleet_packets_lost", "packets"},
     {"fleet_cross_collisions", "slots"},
     {"fleet_tags_discovered", "tags"},
+    {"coded_frames", "frames"},
+    {"coded_crc_failures", "frames"},
+    {"coded_soft_decodes", "frames"},
+    {"coded_hard_decodes", "frames"},
+    {"rs_erasures_marked", "bytes"},
 }};
 
 /// Distribution metrics. Keep in sync with kHistogramInfo below and
@@ -113,6 +123,7 @@ enum class Histogram : std::uint32_t {
   kSnrEstimateErrorDb, ///< |estimated - true| uplink SNR, dB
   kFleetDiscoveryRound,///< 1-based round each tag was discovered in
   kFleetShardTags,     ///< tags homed to each reader's shard
+  kSoftLlrMeanAbs,     ///< mean |LLR| per soft-decoded frame (margin scale)
   kCount
 };
 
@@ -133,6 +144,7 @@ inline constexpr std::array<HistogramInfo, kNumHistograms> kHistogramInfo{{
     {"snr_estimate_error_db", "dB", true},
     {"fleet_discovery_round", "rounds", true},
     {"fleet_shard_tags", "tags", true},
+    {"soft_llr_mean_abs", "llr", true},
 }};
 
 /// One log2-bucketed distribution. Bucket 0 collects non-positive (and

@@ -7,6 +7,7 @@
 // I level on the real axis and the Q level on the imaginary axis.
 #pragma once
 
+#include <array>
 #include <complex>
 #include <cstdint>
 #include <span>
@@ -93,6 +94,43 @@ class Constellation {
     };
     push_level(s.level_i);
     if (use_q_) push_level(s.level_q);
+  }
+
+  /// Appends max-log-MAP per-bit LLRs for one slot to a caller-owned
+  /// buffer. `scores` holds one distance-style score per alphabet() entry
+  /// (same i-major order); for each of the bits_per_symbol() bit positions
+  /// the LLR is min-score-over-bit=1 minus min-score-over-bit=0, so
+  /// positive = bit 0, and the magnitude is the decision margin in score
+  /// units. Any additive constant shared by all scores cancels.
+  void unmap_soft_into(std::span<const double> scores, std::vector<float>& llrs) const {
+    const int nb = bits_per_symbol();
+    RT_ENSURE(nb <= 8, "soft demapper supports at most 8 bits per symbol");
+    constexpr double kInf = 1e300;
+    std::array<double, 8> min0{};
+    std::array<double, 8> min1{};
+    min0.fill(kInf);
+    min1.fill(kInf);
+    const std::size_t per_axis = narrow_cast<std::size_t>(levels_per_axis());
+    const std::size_t count = use_q_ ? per_axis * per_axis : per_axis;
+    RT_ENSURE(scores.size() == count, "one score per alphabet entry required");
+    for (std::size_t idx = 0; idx < count; ++idx) {
+      // alphabet() is i-major, q-minor; the bit label Gray-decodes each axis
+      // (matching unmap_into's MSB-first I-then-Q order).
+      const std::uint32_t li = narrow_cast<std::uint32_t>(use_q_ ? idx / per_axis : idx);
+      const std::uint32_t lq = narrow_cast<std::uint32_t>(use_q_ ? idx % per_axis : 0);
+      const std::uint32_t label =
+          use_q_ ? (sig::gray_decode(li) << bits_) | sig::gray_decode(lq) : sig::gray_decode(li);
+      const double score = scores[idx];
+      for (int j = 0; j < nb; ++j) {
+        auto& slot = ((label >> (nb - 1 - j)) & 1U) ? min1[narrow_cast<std::size_t>(j)]
+                                                    : min0[narrow_cast<std::size_t>(j)];
+        slot = score < slot ? score : slot;
+      }
+    }
+    for (int j = 0; j < nb; ++j)
+      // rt-check: alloc-ok (appends into the caller's pooled buffer; capacity reached at warm-up)
+      llrs.push_back(static_cast<float>(min1[narrow_cast<std::size_t>(j)] -
+                                        min0[narrow_cast<std::size_t>(j)]));
   }
 
   /// Normalized drive fraction rho in [0, 1] for a level.

@@ -1,5 +1,7 @@
 #include "phy/demodulator.h"
 
+#include <cmath>
+
 #include "common/error.h"
 #include "obs/trace.h"
 
@@ -79,6 +81,7 @@ void Demodulator::demodulate_into(sig::IqWaveform& rx, int payload_slots,
   RT_ENSURE(payload_slots >= 1, "need at least one payload slot");
   out.preamble_found = false;
   out.bits.clear();
+  out.soft_bits.clear();
   out.equalizer_metric = 0.0;
 
   const auto det = preamble_.detect(rx, options.search_limit, ws.preamble);
@@ -114,7 +117,8 @@ void Demodulator::demodulate_into(sig::IqWaveform& rx, int payload_slots,
   }
   const std::size_t payload_begin =
       frame_start + static_cast<std::size_t>(layout.payload_begin()) * t_samps;
-  eq.equalize_into(corrected, payload_begin, payload_slots, ws.histories, ws.eq, ws.eq_result);
+  eq.equalize_into(corrected, payload_begin, payload_slots, ws.histories, ws.eq, ws.eq_result,
+                   options.soft_output);
   out.equalizer_metric = ws.eq_result.final_metric;
   RT_DCHECK_FINITE(out.equalizer_metric);
 
@@ -124,6 +128,23 @@ void Demodulator::demodulate_into(sig::IqWaveform& rx, int payload_slots,
   out.bits.reserve(static_cast<std::size_t>(payload_slots) * constellation_.bits_per_symbol());
   for (const auto& sym : ws.eq_result.symbols) constellation_.unmap_into(sym, out.bits);
   if (options.descramble) scrambler_.apply_in_place(out.bits);
+  if (options.soft_output) {
+    out.soft_bits.assign(ws.eq_result.soft_bits.begin(), ws.eq_result.soft_bits.end());
+    // Descrambling XORs keystream-1 positions, which on the soft side is a
+    // sign flip; hard bits and LLR signs stay consistent bit for bit.
+    if (options.descramble) scrambler_.apply_sign_in_place(out.soft_bits);
+    // Align each LLR's sign with the surviving path's decision. The raw
+    // sign is the demapper's per-slot min-distance vote, but the DFE
+    // winner decides each bit with the benefit of every later slot's
+    // evidence and is measurably more reliable; the magnitude keeps the
+    // local margin. After this, sign-slicing the soft stream reproduces
+    // the hard decisions exactly (a zero margin carries the decision in
+    // its sign bit, so consumers slice with std::signbit).
+    for (std::size_t i = 0; i < out.soft_bits.size() && i < out.bits.size(); ++i) {
+      const float mag = std::fabs(out.soft_bits[i]);
+      out.soft_bits[i] = out.bits[i] != 0 ? -mag : mag;
+    }
+  }
 }
 
 }  // namespace rt::phy

@@ -19,11 +19,15 @@ struct DemodOptions {
   bool online_training = true;  ///< false = use `oracle` (or fail if absent)
   const PulseBank* oracle = nullptr;  ///< bypasses training when set
   std::size_t search_limit = 0;       ///< preamble search bound (0 = whole waveform)
+  bool soft_output = false;           ///< also export per-bit LLRs in soft_bits
 };
 
 struct DemodResult {
   bool preamble_found = false;
   std::vector<std::uint8_t> bits;  ///< recovered payload bits (padded length)
+  /// Per-bit LLRs aligned with `bits` (positive = bit 0), descrambled by
+  /// sign; empty unless DemodOptions::soft_output.
+  std::vector<float> soft_bits;
   PreambleDetection detection;
   double equalizer_metric = 0.0;
 };

@@ -67,7 +67,8 @@ EqualizerResult DfeEqualizer::equalize(const sig::IqWaveform& rx, std::size_t pa
 
 void DfeEqualizer::equalize_into(const sig::IqWaveform& rx, std::size_t payload_begin,
                                  int n_slots, std::span<const unsigned> initial_histories,
-                                 EqualizerWorkspace& ws, EqualizerResult& out) const {
+                                 EqualizerWorkspace& ws, EqualizerResult& out,
+                                 bool soft_output) const {
   RT_TRACE_SPAN("dfe");
   RT_ENSURE(n_slots >= 1, "need at least one slot");
   const int l = p_.dsm_order;
@@ -113,6 +114,7 @@ void DfeEqualizer::equalize_into(const sig::IqWaveform& rx, std::size_t payload_
     Branch& seed = ws.cur[0];
     seed.metric = 0.0;
     seed.decisions.clear();
+    seed.llrs.clear();
     seed.pixel_hist.assign(initial_histories.begin(), initial_histories.end());
     seed.residual.resize(w_samps);
     for (std::size_t k = 0; k < w_samps; ++k) seed.residual[k] = rx_at(payload_begin + k);
@@ -165,6 +167,16 @@ void DfeEqualizer::equalize_into(const sig::IqWaveform& rx, std::size_t payload_
             kernels::dfe_score(t_samps, b.residual.data(), terms.data(), terms.size());
         candidates.push_back({bi, sym, b.metric + score});
       }
+    }
+    if (soft_output) {
+      // Snapshot the candidate scores before the sort scrambles them: row
+      // `bi` holds one score per alphabet entry for parent branch `bi`,
+      // exactly what the max-log-MAP demapper needs (the parent's
+      // cumulative metric is a shared additive constant that cancels in
+      // every bit margin).
+      ws.slot_scores.resize(candidates.size());
+      for (std::size_t ci = 0; ci < candidates.size(); ++ci)
+        ws.slot_scores[ci] = candidates[ci].metric;
     }
     std::sort(candidates.begin(), candidates.end(),
               [](const Candidate& a, const Candidate& b) { return a.metric < b.metric; });
@@ -221,6 +233,11 @@ void DfeEqualizer::equalize_into(const sig::IqWaveform& rx, std::size_t payload_
         }
         ++n_seen;
       }
+      if (soft_output) {
+        nb.llrs = parent.llrs;
+        constellation_.unmap_soft_into(
+            {ws.slot_scores.data() + c.parent * alphabet.size(), alphabet.size()}, nb.llrs);
+      }
       // Decision feedback: subtract the decided cycle's waveform over its
       // full W span, then slide the window one slot forward.
       terms.clear();
@@ -253,6 +270,8 @@ void DfeEqualizer::equalize_into(const sig::IqWaveform& rx, std::size_t payload_
       [](const Branch& a, const Branch& b) { return a.metric < b.metric; });
   out.symbols.assign(best->decisions.begin(), best->decisions.end());
   out.final_metric = best->metric;
+  out.soft_bits.clear();
+  if (soft_output) out.soft_bits.assign(best->llrs.begin(), best->llrs.end());
   RT_OBS_OBSERVE(kEqualizerResidual, out.final_metric);
 }
 

@@ -26,6 +26,10 @@ namespace rt::phy {
 struct EqualizerResult {
   std::vector<SymbolLevels> symbols;
   double final_metric = 0.0;  ///< cumulative squared error of the winner
+  /// Per-bit LLRs (positive = bit 0) along the winning path, one
+  /// bits_per_symbol() group per decided slot; empty unless the soft
+  /// output was requested.
+  std::vector<float> soft_bits;
 };
 
 /// Reusable branch pools and scratch for DfeEqualizer::equalize_into().
@@ -38,6 +42,7 @@ struct EqualizerWorkspace {
     std::vector<SymbolLevels> decisions;
     std::vector<Complex> residual;     ///< upcoming window [nT, nT + W)
     std::vector<unsigned> pixel_hist;  ///< per-pixel V-bit firing history
+    std::vector<float> llrs;           ///< per-bit LLRs along this prefix (soft mode)
   };
   struct Candidate {
     std::size_t parent;
@@ -54,6 +59,7 @@ struct EqualizerWorkspace {
   int alphabet_bits = 0;               ///< cache key: bits per axis
   int alphabet_q = -1;                 ///< cache key: use_q (as int; -1 = invalid)
   std::vector<char> seen_keys;         ///< flat fixed-stride merge keys
+  std::vector<double> slot_scores;     ///< pre-sort candidate scores (soft mode)
 };
 
 class DfeEqualizer {
@@ -71,9 +77,13 @@ class DfeEqualizer {
 
   /// Workspace form of equalize(): writes the winning decision sequence
   /// into `out`, reusing the workspace pools. Bit-identical to equalize().
+  /// With `soft_output`, each surviving branch additionally carries max-
+  /// log-MAP per-bit LLRs (min-distance margins over this slot's candidate
+  /// scores, conditioned on the branch's own decision prefix), and the
+  /// winner's LLR stream is exported in `out.soft_bits`.
   void equalize_into(const sig::IqWaveform& rx, std::size_t payload_begin, int n_slots,
                      std::span<const unsigned> initial_histories, EqualizerWorkspace& ws,
-                     EqualizerResult& out) const;
+                     EqualizerResult& out, bool soft_output = false) const;
 
  private:
   const PhyParams p_;

@@ -47,6 +47,18 @@ class Scrambler {
     }
   }
 
+  /// Descrambles per-bit LLRs in place: XOR-ing a bit with keystream bit 1
+  /// flips its meaning, which on the soft side is a sign flip (positive =
+  /// bit 0 convention). Same keystream as apply().
+  void apply_sign_in_place(std::span<float> llrs) const {
+    std::uint8_t state = seed_;
+    for (auto& llr : llrs) {
+      const std::uint8_t key = narrow_cast<std::uint8_t>(((state >> 6) ^ (state >> 3)) & 1U);
+      if (key) llr = -llr;
+      state = narrow_cast<std::uint8_t>(((state << 1) | key) & 0x7F);
+    }
+  }
+
  private:
   std::uint8_t seed_;
 };

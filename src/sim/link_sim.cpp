@@ -89,6 +89,7 @@ LinkSimulator::PacketOutcome LinkSimulator::transmit_into(
   dopts.oracle = opts_.oracle_templates ? &*oracle_ : nullptr;
   dopts.search_limit = static_cast<std::size_t>(opts_.max_pad_slots + 2) *
                        params_.samples_per_slot();
+  dopts.soft_output = opts_.export_soft_bits;
   demodulator_.demodulate_into(ws.rx, pkt.layout.payload_slots, dopts, ws.demod, ws.result);
   const auto& res = ws.result;
 
@@ -102,6 +103,8 @@ LinkSimulator::PacketOutcome LinkSimulator::transmit_into(
               "demodulator returned fewer bits than the transmitted payload");
     for (std::size_t i = 0; i < payload_bits.size(); ++i)
       out.bit_errors += (res.bits[i] != payload_bits[i]) ? 1 : 0;
+    if (opts_.export_soft_bits)
+      out.soft_bits = std::span<const float>(res.soft_bits.data(), payload_bits.size());
     out.snr_estimate_db = res.detection.snr.snr_db;
     RT_OBS_OBSERVE(kSnrEstimateErrorDb, std::abs(out.snr_estimate_db - channel_.snr_db()));
   }
@@ -163,6 +166,16 @@ LinkSimulator::PacketOutcome LinkSimulator::run_packet(std::uint64_t packet_inde
   ws.payload.resize(payload_bytes * 8);
   payload_rng.fill_bits(ws.payload);
   return transmit_into(ws.payload, pad_rng, &noise_rng, ws);
+}
+
+LinkSimulator::PacketOutcome LinkSimulator::run_packet_bits(
+    std::uint64_t packet_index, std::span<const std::uint8_t> payload_bits,
+    PacketWorkspace& ws) const {
+  // Same pad/noise sub-streams as run_packet; the payload stream is simply
+  // unused because the caller supplies the on-air bits.
+  Rng pad_rng(split_seed(opts_.seed, packet_index, kPadStream));
+  Rng noise_rng(split_seed(channel_.config().noise_seed, packet_index, kNoiseStream));
+  return transmit_into(payload_bits, pad_rng, &noise_rng, ws);
 }
 
 LinkSimulator::RenderedPacket LinkSimulator::render_packet_rx(std::uint64_t packet_index,

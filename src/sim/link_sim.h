@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "phy/demodulator.h"
@@ -30,6 +31,10 @@ struct SimOptions {
   /// models a receiver with stale, non-adaptive references -- the
   /// "channel training disabled" ablation of Fig. 16c.
   std::optional<Pose> oracle_pose;
+  /// Export per-bit LLRs from the demapper into PacketOutcome::soft_bits
+  /// (workspace overloads only). Off by default: the raw hot path and its
+  /// perf baselines are unchanged unless a coded experiment asks for LLRs.
+  bool export_soft_bits = false;
 };
 
 struct LinkStats {
@@ -85,6 +90,11 @@ class LinkSimulator {
     /// quantity the closed rate-adaptation loop feeds to mac::RateTable.
     double snr_estimate_db = 0.0;
     std::vector<std::uint8_t> received_bits;  ///< demodulated payload (empty if lost)
+    /// Per-bit LLRs aligned with the payload (positive = bit 0). Only
+    /// filled by the workspace overloads when SimOptions::export_soft_bits
+    /// is set and the preamble was found; views ws.result.soft_bits, so it
+    /// is invalidated by the next packet on the same workspace.
+    std::span<const float> soft_bits;
   };
   [[nodiscard]] PacketOutcome send_packet(std::span<const std::uint8_t> payload_bits);
 
@@ -107,6 +117,15 @@ class LinkSimulator {
   /// in `ws.result.bits`. Workspaces must not be shared across threads.
   [[nodiscard]] PacketOutcome run_packet(std::uint64_t packet_index, std::size_t payload_bytes,
                                          PacketWorkspace& ws) const;
+
+  /// run_packet() with a caller-supplied bit stream instead of the derived
+  /// random payload -- the entry point for coded frames (sim::CodedLink),
+  /// whose on-air bits come from the FEC encoder. Padding and noise use
+  /// exactly run_packet's split_seed derivations, so a coded and an
+  /// uncoded packet at the same index see the same channel realization.
+  [[nodiscard]] PacketOutcome run_packet_bits(std::uint64_t packet_index,
+                                              std::span<const std::uint8_t> payload_bits,
+                                              PacketWorkspace& ws) const;
 
   /// TX -> channel half of run_packet(): renders packet `packet_index`'s
   /// received waveform into `ws.rx` WITHOUT demodulating it, using exactly

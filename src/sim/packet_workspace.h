@@ -14,6 +14,7 @@
 #include <optional>
 #include <vector>
 
+#include "coding/coded_frame.h"
 #include "obs/trace.h"
 #include "phy/demodulator.h"
 #include "phy/modulator.h"
@@ -37,6 +38,12 @@ struct PacketWorkspace {
   sig::IqWaveform rx;
   phy::DemodWorkspace demod;
   phy::DemodResult result;
+
+  // Coded-frame stage (sim::CodedLink): codec scratch plus the on-air
+  // coded bit stream and the decoded info-bit ground truth.
+  coding::CodedFrameWorkspace coded;
+  std::vector<std::uint8_t> coded_tx_bits;
+  std::vector<std::uint8_t> info_bits;
 
   // Observability. The pipeline binds this recorder (thread-local) for
   // the duration of each packet, so stage spans and metrics land here.

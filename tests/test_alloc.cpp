@@ -16,6 +16,7 @@
 #include <new>
 
 #include "common/units.h"
+#include "sim/coded_link.h"
 #include "sim/link_sim.h"
 #include "sim/packet_workspace.h"
 #include "stream/sim_source.h"
@@ -127,6 +128,62 @@ TEST(AllocationRegression, SteadyStatePacketPipelineIsAllocationFree) {
   EXPECT_EQ(g_allocs.load(), 0u)
       << "the steady-state packet pipeline allocated on the heap (" << g_allocs.load()
       << " allocations across 3 packets; total bit errors " << errors << ")";
+}
+
+TEST(AllocationRegression, SteadyStateCodedPacketPipelineIsAllocationFree) {
+  // The coded frame path on top of the packet pipeline: whiten -> FEC ->
+  // interleave -> TX -> channel -> RX -> deinterleave -> soft/hard decode
+  // -> CRC, through the same reused PacketWorkspace. Covers both code
+  // kinds and both decode modes so the Viterbi trellis, the RS scratch,
+  // and the GMD erasure ladder all run under the counting allocator.
+  const auto p = fast_params();
+  ChannelConfig ch;
+  ch.snr_override_db = 14.0;
+  ch.noise_seed = 7;
+  SimOptions so;
+  so.seed = 42;
+  so.offline_yaws_deg = {0.0};
+  so.export_soft_bits = true;
+  const LinkSimulator sim(p, p.tag_config(), ch, so);
+
+  coding::CodedFrameConfig cc_cfg;
+  cc_cfg.code = coding::CodeDescriptor::convolutional(7);
+  coding::CodedFrameConfig rs_cfg;
+  rs_cfg.code = coding::CodeDescriptor::reed_solomon(63, 47);
+  const CodedLink cc(sim, cc_cfg);
+  const CodedLink rs(sim, rs_cfg);
+
+  // One workspace per frame shape (the bench's usage: each campaign owns
+  // its workspace). Alternating coded sizes through a single workspace
+  // would legitimately rebuild the layout-keyed caches every packet.
+  PacketWorkspace cc_ws;
+  PacketWorkspace rs_ws;  // soft and hard share one shape, hence one ws
+  const auto run_once = [&](std::size_t& errors) {
+    for (std::uint64_t i = 0; i < 2; ++i) {
+      const auto a = cc.run_packet(i, 8, cc_ws, CodedLink::DecodeMode::kSoft);
+      const auto b = rs.run_packet(i, 8, rs_ws, CodedLink::DecodeMode::kSoft);
+      const auto c = rs.run_packet(i, 8, rs_ws, CodedLink::DecodeMode::kHard);
+      ASSERT_TRUE(a.preamble_found && b.preamble_found && c.preamble_found)
+          << "packet " << i << " must decode for full-path coverage";
+      errors += a.info_bit_errors + b.info_bit_errors + c.info_bit_errors;
+    }
+  };
+
+  // Warm-up replays the exact packet indices of the measured phase, so
+  // the deterministic decode paths (GMD retries included) are identical.
+  std::size_t warm_errors = 0;
+  run_once(warm_errors);
+
+  g_allocs.store(0);
+  g_counting.store(true);
+  std::size_t errors = 0;
+  run_once(errors);
+  g_counting.store(false);
+
+  EXPECT_EQ(errors, warm_errors) << "replayed packets must be bit-identical";
+  EXPECT_EQ(g_allocs.load(), 0u)
+      << "the steady-state coded packet pipeline allocated on the heap (" << g_allocs.load()
+      << " allocations across 6 coded frames)";
 }
 
 TEST(AllocationRegression, SteadyStateStreamingReceiverIsAllocationFree) {

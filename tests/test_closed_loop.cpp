@@ -48,10 +48,10 @@ TEST(RateController, HysteresisPreventsFlappingAtThreshold) {
   cfg.hysteresis_db = 1.5;
   RateController ctl(table);
   RateController raw(table, cfg);
-  // Oscillate +-1 dB around the 16k+RS(255,223) threshold (30 dB): a
+  // Oscillate +-1 dB around the 16k+RS(255,223) threshold (31.5 dB): a
   // memoryless selector would flap every sample; the controller must not.
   for (int i = 0; i < 100; ++i) {
-    const double snr = 30.0 + ((i % 2 == 0) ? 1.0 : -1.0);
+    const double snr = 31.5 + ((i % 2 == 0) ? 1.0 : -1.0);
     raw.update(snr);
     ctl.update(snr);
   }
@@ -62,9 +62,9 @@ TEST(RateController, HysteresisPreventsFlappingAtThreshold) {
   // And the memoryless table WOULD flap, proving the hysteresis is doing
   // the work rather than the oscillation being harmless.
   std::size_t table_flaps = 0;
-  std::size_t prev = table.select_index(31.0);
+  std::size_t prev = table.select_index(32.5);
   for (int i = 1; i < 100; ++i) {
-    const std::size_t cur = table.select_index(30.0 + ((i % 2 == 0) ? 1.0 : -1.0));
+    const std::size_t cur = table.select_index(31.5 + ((i % 2 == 0) ? 1.0 : -1.0));
     if (cur != prev) ++table_flaps;
     prev = cur;
   }

@@ -112,10 +112,10 @@ TEST(RateTableTest, SelectsByThresholdAndRate) {
   // Plenty of SNR: the fastest uncoded rate wins.
   EXPECT_NEAR(table.select(70.0).effective_rate_bps(), 32000.0, 1.0);
   // At exactly a coded variant's threshold the higher coded rate wins:
-  // 16k+RS(255,223) (threshold 30 dB) beats 8k uncoded.
-  const auto& at30 = table.select(30.0);
-  EXPECT_NEAR(at30.raw_rate_bps, 16000.0, 1.0);
-  EXPECT_GT(at30.rs_n, 0u);
+  // 16k+RS(255,223) (threshold 31.5 dB) beats 8k uncoded.
+  const auto& at_coded = table.select(31.5);
+  EXPECT_NEAR(at_coded.raw_rate_bps, 16000.0, 1.0);
+  EXPECT_LT(at_coded.code_rate(), 1.0);  // a coded (RS) variant
   // Just below it, the heavily-coded 16k variant loses to 8k uncoded on
   // effective rate: an 8k-family option is picked.
   const auto& mid = table.select(29.0);
@@ -142,20 +142,27 @@ TEST(RateTableTest, FallbackSelectsMinimumThresholdOption) {
 
 TEST(RateTableTest, MarginRaisesEntryThresholds) {
   const auto table = RateTable::paper_default();
-  // 30 dB clears 16k+RS(255,223) (threshold 30) with no margin, but with
-  // a 1.5 dB margin the requirement becomes 31.5 and selection drops to
-  // the 8k family.
-  EXPECT_NEAR(table.option(table.select_index(30.0)).raw_rate_bps, 16000.0, 1.0);
-  EXPECT_NEAR(table.option(table.select_index(30.0, 1.5)).raw_rate_bps, 8000.0, 1.0);
+  // 31.5 dB clears 16k+RS(255,223) (threshold 31.5) with no margin, but
+  // with a 1.5 dB margin the requirement becomes 33 and selection drops
+  // to the 8k family.
+  EXPECT_NEAR(table.option(table.select_index(31.5)).raw_rate_bps, 16000.0, 1.0);
+  EXPECT_NEAR(table.option(table.select_index(31.5, 1.5)).raw_rate_bps, 8000.0, 1.0);
 }
 
 TEST(RateTableTest, CodedVariantsExtendRange) {
   const auto table = RateTable::paper_default();
   // Just below the uncoded 16k threshold the coded 16k variant (threshold
-  // -3 dB) beats dropping all the way to 8k uncoded.
-  const auto& opt = table.select(31.0);
+  // -1.5 dB) beats dropping all the way to 8k uncoded.
+  const auto& opt = table.select(32.0);
   EXPECT_NEAR(opt.raw_rate_bps, 16000.0, 1.0);
-  EXPECT_GT(opt.rs_n, 0u);
+  EXPECT_LT(opt.code_rate(), 1.0);  // a coded (RS) variant
+  // The convolutional option has its own niche where the rate ladder gaps
+  // 4x: at 17.5 dB the soft-decoded 4k+CC(7,1/2) (threshold 17 dB,
+  // effective 2 Kbps) beats every eligible alternative, including 1k
+  // uncoded and the deep-RS 4k variant.
+  const auto& cc = table.select(17.5);
+  EXPECT_EQ(cc.name, "4kbps+CC(7,1/2)");
+  EXPECT_NEAR(cc.effective_rate_bps(), 2000.0, 1.0);
 }
 
 TEST(Goodput, WaterfallCalibratedAtThreshold) {
@@ -166,8 +173,10 @@ TEST(Goodput, WaterfallCalibratedAtThreshold) {
 
 TEST(Goodput, CodingExtendsWorkingRange) {
   const GoodputModel model;
-  RateOption raw{"16k", phy::PhyParams::rate_16kbps(), 16000.0, 33.0, 0, 0};
-  RateOption coded{"16k+rs", phy::PhyParams::rate_16kbps(), 16000.0, 33.0, 255, 223};
+  RateOption raw{"16k", phy::PhyParams::rate_16kbps(), 16000.0, 33.0,
+                 rt::coding::CodeDescriptor::none()};
+  RateOption coded{"16k+rs", phy::PhyParams::rate_16kbps(), 16000.0, 33.0,
+                   rt::coding::CodeDescriptor::reed_solomon(255, 223)};
   // Slightly below threshold: coded link delivers, raw collapses.
   EXPECT_GT(model.goodput_bps(coded, 32.0), model.goodput_bps(raw, 32.0));
   // Far above threshold: raw wins by the code-rate overhead.
@@ -178,7 +187,8 @@ TEST(Goodput, CodingExtendsWorkingRange) {
 
 TEST(Goodput, MeasuredCurveOverridesAnalytic) {
   GoodputModel model;
-  RateOption opt{"8k", phy::PhyParams::rate_8kbps(), 8000.0, 28.0, 0, 0};
+  RateOption opt{"8k", phy::PhyParams::rate_8kbps(), 8000.0, 28.0,
+                 rt::coding::CodeDescriptor::none()};
   model.add_measurements("8k", {{20.0, 0.2}, {30.0, 1e-5}});
   EXPECT_NEAR(model.ber(opt, 20.0), 0.2, 1e-9);
   EXPECT_NEAR(model.ber(opt, 30.0), 1e-5, 1e-9);
@@ -190,7 +200,8 @@ TEST(Goodput, MeasuredCurveOverridesAnalytic) {
 
 TEST(Goodput, DuplicateMeasurementPointsStayFinite) {
   GoodputModel model;
-  RateOption opt{"8k", phy::PhyParams::rate_8kbps(), 8000.0, 28.0, 0, 0};
+  RateOption opt{"8k", phy::PhyParams::rate_8kbps(), 8000.0, 28.0,
+                 rt::coding::CodeDescriptor::none()};
   // Regression: repeated measurements at one SNR used to produce a
   // zero-width interpolation segment and a NaN BER. Duplicates collapse
   // to their worst (highest) BER.
